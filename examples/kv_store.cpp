@@ -1,0 +1,105 @@
+// A tiny log-structured key-value store on top of the FTL block interface —
+// the kind of database workload the paper's introduction motivates
+// ("with more and more database systems and installations utilizing flash
+// devices...").
+//
+// The store maps fixed-size records onto logical pages: a hash of the key
+// selects a logical page; updates rewrite the page out of place through
+// the FTL, which hides all flash idiosyncrasies. A crash in the middle of
+// a workload loses nothing that was acknowledged.
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "flash/flash_device.h"
+#include "ftl/gecko_ftl.h"
+#include "util/random.h"
+
+using namespace gecko;
+
+namespace {
+
+/// Fixed-capacity record store: record ids are dense 64-bit integers and
+/// each record owns one logical page (a real store would add a directory
+/// layer for sparse keys; the point here is the update pattern the FTL
+/// absorbs underneath).
+class RecordStore {
+ public:
+  explicit RecordStore(Ftl* ftl, uint64_t capacity)
+      : ftl_(ftl), capacity_(capacity) {}
+
+  Status Put(uint64_t record_id, uint64_t value) {
+    if (record_id >= capacity_) {
+      return Status::InvalidArgument("record id beyond capacity");
+    }
+    return ftl_->Write(static_cast<Lpn>(record_id), value);
+  }
+
+  Status Get(uint64_t record_id, uint64_t* value) {
+    if (record_id >= capacity_) {
+      return Status::InvalidArgument("record id beyond capacity");
+    }
+    return ftl_->Read(static_cast<Lpn>(record_id), value);
+  }
+
+ private:
+  Ftl* ftl_;
+  uint64_t capacity_;
+};
+
+}  // namespace
+
+int main() {
+  Geometry geometry;
+  geometry.num_blocks = 512;
+  geometry.pages_per_block = 32;
+  geometry.page_bytes = 1024;
+  geometry.logical_ratio = 0.7;
+  FlashDevice device(geometry);
+  GeckoFtl ftl(&device, GeckoFtl::DefaultConfig(256));
+
+  RecordStore store(&ftl, geometry.NumLogicalPages());
+  std::map<uint64_t, uint64_t> shadow;  // host-side ground truth
+
+  // OLTP-ish workload: skewed updates over 4k keys, periodic crashes.
+  Rng rng(7);
+  ZipfGenerator zipf(4000, 0.9);
+  const int kOps = 60000;
+  int crashes = 0;
+  for (int i = 0; i < kOps; ++i) {
+    uint64_t key = zipf.Next(rng);
+    uint64_t value = (uint64_t{static_cast<uint64_t>(i)} << 20) | key;
+    if (!store.Put(key, value).ok()) {
+      std::printf("put failed at op %d\n", i);
+      return 1;
+    }
+    shadow[key] = value;
+    if (i > 0 && i % 20000 == 0) {
+      ftl.CrashAndRecover();
+      ++crashes;
+    }
+  }
+
+  // Verify every acknowledged write survived the crashes.
+  uint64_t checked = 0;
+  for (const auto& [key, expected] : shadow) {
+    uint64_t got = 0;
+    Status s = store.Get(key, &got);
+    if (!s.ok() || got != expected) {
+      std::printf("LOST key %llu: %s\n", (unsigned long long)key,
+                  s.ToString().c_str());
+      return 1;
+    }
+    ++checked;
+  }
+
+  std::printf("kv_store: %d ops over %zu records, %d power failures, "
+              "%llu values verified intact\n",
+              kOps, shadow.size(), crashes, (unsigned long long)checked);
+  std::printf("write-amplification: %.3f, GC collections: %llu\n",
+              device.stats().counters().WriteAmplification(
+                  device.stats().latency().Delta()),
+              (unsigned long long)ftl.counters().gc_collections);
+  return 0;
+}

@@ -1,0 +1,65 @@
+#include "core/analysis.h"
+
+#include <cmath>
+
+namespace gecko {
+
+double LogGeckoLevels(const Geometry& g, const LogGeckoConfig& c) {
+  double total_entries =
+      static_cast<double>(g.num_blocks) * c.partition_factor;
+  double v = c.EntriesPerPage(g);
+  double t = c.size_ratio;
+  double levels = std::ceil(std::log(total_entries / v) / std::log(t));
+  return levels < 1.0 ? 1.0 : levels;
+}
+
+PvmCostModel LogGeckoCosts(const Geometry& g, const LogGeckoConfig& c) {
+  PvmCostModel m;
+  double v = c.EntriesPerPage(g);
+  double t = c.size_ratio;
+  double levels = LogGeckoLevels(g, c);
+  // Each entry is rewritten O(T) times per level across O(L) levels, and
+  // each flash write moves V entries, so the amortized per-update cost is
+  // (T/V)*L reads and writes (Section 3.2, "Cost per Update").
+  m.update_reads = t / v * levels;
+  m.update_writes = t / v * levels;
+  // A GC query reads one page per run; it also inserts one erase-flagged
+  // entry, whose cost is the update cost (Section 3.2, "Cost per GC Op").
+  m.query_reads = levels;
+  m.query_writes = t / v * levels;  // amortized insert of the erase entry
+  // RAM: run directories (8 bytes per Gecko page; there are at most
+  // ~2*K*S/V pages) plus the page-sized buffers (Appendix B).
+  double gecko_pages =
+      2.0 * g.num_blocks * c.partition_factor / v;
+  m.ram_bytes = 8.0 * gecko_pages + g.page_bytes * (2.0 + levels);
+  return m;
+}
+
+PvmCostModel FlashPvbCosts(const Geometry& g) {
+  PvmCostModel m;
+  m.update_reads = 1.0;   // read-modify-write of the PVB chunk page
+  m.update_writes = 1.0;
+  m.query_reads = 1.0;
+  m.query_writes = 0.0;
+  // Directory mapping each PVB chunk to its current flash page.
+  double chunks =
+      std::ceil(static_cast<double>(g.TotalPages()) / (g.page_bytes * 8.0));
+  m.ram_bytes = 8.0 * chunks;
+  return m;
+}
+
+PvmCostModel RamPvbCosts(const Geometry& g) {
+  PvmCostModel m;
+  m.ram_bytes = static_cast<double>(g.TotalPages()) / 8.0;  // B*K/8 bytes
+  return m;
+}
+
+double LogGeckoFlashBytes(const Geometry& g, const LogGeckoConfig& c) {
+  // Largest run: K*S entries of (key + B/S + 1) bits; smaller levels sum
+  // to at most another largest run (space-amplification <= ~2, §3.2).
+  double entries = static_cast<double>(g.num_blocks) * c.partition_factor;
+  double bits = entries * c.EntryBits(g);
+  return 2.0 * bits / 8.0;
+}
+
+}  // namespace gecko

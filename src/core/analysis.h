@@ -1,0 +1,49 @@
+// Analytic cost model for Logarithmic Gecko and the PVB baselines.
+//
+// These functions evaluate the closed-form costs of Table 1 and the space
+// formulas of Sections 3.2/3.3 and Appendix B, so benches can print the
+// asymptotic predictions next to the empirically measured values.
+
+#ifndef GECKOFTL_CORE_ANALYSIS_H_
+#define GECKOFTL_CORE_ANALYSIS_H_
+
+#include <cstdint>
+
+#include "core/gecko_config.h"
+#include "flash/geometry.h"
+
+namespace gecko {
+
+/// Predicted per-operation IO costs (fractions of a flash read/write).
+struct PvmCostModel {
+  double update_reads = 0;
+  double update_writes = 0;
+  double query_reads = 0;
+  double query_writes = 0;
+  double ram_bytes = 0;
+};
+
+/// Number of levels L = ceil(log_T(total_entries / V)), per Section 3.2.
+/// With entry-partitioning, the largest run holds K*S sub-entries.
+double LogGeckoLevels(const Geometry& g, const LogGeckoConfig& c);
+
+/// Table 1, Logarithmic Gecko row:
+///   update:   O((T/V) * log_T(K/V)) flash reads and writes (amortized)
+///   GC query: O(log_T(K/V)) flash reads + one buffered (erase) insert
+///   RAM:      O(B*K/P) for the run directories and buffer
+PvmCostModel LogGeckoCosts(const Geometry& g, const LogGeckoConfig& c);
+
+/// Table 1, flash-resident PVB row: one read + one write per update, one
+/// read per query; RAM is the chunk directory, O(B*K/P).
+PvmCostModel FlashPvbCosts(const Geometry& g);
+
+/// Table 1, RAM-resident PVB row: no IO, O(B*K) bits of RAM.
+PvmCostModel RamPvbCosts(const Geometry& g);
+
+/// Total flash footprint of Logarithmic Gecko in bytes:
+/// O(B*K + S*key*K) bits, at most ~2x the largest run (Section 3.3).
+double LogGeckoFlashBytes(const Geometry& g, const LogGeckoConfig& c);
+
+}  // namespace gecko
+
+#endif  // GECKOFTL_CORE_ANALYSIS_H_

@@ -1,0 +1,61 @@
+// The Gecko entry: the key-value record Logarithmic Gecko stores (Figure 3).
+//
+// With entry-partitioning (Section 3.3) the unit of storage is a sub-entry:
+// key = (block id, sub-index), value = a (B/S)-bit chunk of the block's
+// page-validity bitmap, plus a one-bit erase flag. Sub-entries are ordered
+// by composite key so that all chunks of a block are adjacent in a run.
+
+#ifndef GECKOFTL_CORE_GECKO_ENTRY_H_
+#define GECKOFTL_CORE_GECKO_ENTRY_H_
+
+#include <cstdint>
+
+#include "flash/types.h"
+#include "util/bitmap.h"
+
+namespace gecko {
+
+/// Composite key: block id in the high part, sub-entry index in the low
+/// part (packed, as the paper packs sub-indices into the key field).
+using GeckoKey = uint64_t;
+
+inline GeckoKey MakeGeckoKey(BlockId block, uint32_t sub_index,
+                             uint32_t partition_factor) {
+  return uint64_t{block} * partition_factor + sub_index;
+}
+
+inline BlockId GeckoKeyBlock(GeckoKey key, uint32_t partition_factor) {
+  return static_cast<BlockId>(key / partition_factor);
+}
+
+inline uint32_t GeckoKeySub(GeckoKey key, uint32_t partition_factor) {
+  return static_cast<uint32_t>(key % partition_factor);
+}
+
+/// One (sub-)entry. `bits` has B/S bits; bit i set means the page at offset
+/// sub_index * (B/S) + i in the block is invalid. `erase_flag` set means the
+/// block was erased when this entry was created; during queries and merges
+/// it masks every older entry for the same key (Section 3, "Erase Flag").
+struct GeckoEntry {
+  GeckoKey key = 0;
+  Bitmap bits;
+  bool erase_flag = false;
+
+  GeckoEntry() = default;
+  GeckoEntry(GeckoKey k, uint32_t chunk_bits, bool erased = false)
+      : key(k), bits(chunk_bits), erase_flag(erased) {}
+
+  /// Algorithm 3: resolves a collision between this (newer) entry and an
+  /// older entry for the same key, in place. If the newer entry has its
+  /// erase flag set the older entry is simply discarded (nothing to do);
+  /// otherwise the bitmaps are OR-ed and the older erase flag is kept.
+  void AbsorbOlder(const GeckoEntry& older) {
+    if (erase_flag) return;  // older entry predates the erase: discard it
+    bits.OrWith(older.bits);
+    erase_flag = older.erase_flag;
+  }
+};
+
+}  // namespace gecko
+
+#endif  // GECKOFTL_CORE_GECKO_ENTRY_H_

@@ -1,0 +1,92 @@
+#include "flash/flash_device.h"
+
+namespace gecko {
+
+FlashDevice::FlashDevice(const Geometry& geometry, LatencyModel latency)
+    : geometry_(geometry),
+      stats_(latency),
+      pages_(geometry.TotalPages()),
+      blocks_(geometry.num_blocks) {
+  geometry_.Validate();
+}
+
+void FlashDevice::CheckAddress(PhysicalAddress addr) const {
+  GECKO_CHECK_LT(addr.block, geometry_.num_blocks)
+      << "block out of range: " << addr.ToString();
+  GECKO_CHECK_LT(addr.page, geometry_.pages_per_block)
+      << "page out of range: " << addr.ToString();
+}
+
+uint64_t FlashDevice::WritePage(PhysicalAddress addr, SpareArea spare,
+                                uint64_t payload, IoPurpose purpose) {
+  CheckAddress(addr);
+  BlockRecord& block = blocks_[addr.block];
+  // NAND rule (4): programs within a block must be sequential, and rule (2):
+  // a programmed page cannot be reprogrammed before an erase.
+  GECKO_CHECK_EQ(addr.page, block.write_pointer)
+      << "non-sequential program at " << addr.ToString()
+      << " (write pointer at page " << block.write_pointer << ")";
+  PageRecord& page = pages_[FlatIndex(addr)];
+  GECKO_CHECK(!page.written) << "rewriting programmed page " << addr.ToString();
+  GECKO_CHECK(spare.type != PageType::kFree)
+      << "writes must declare a page type";
+
+  spare.seq = next_seq_++;
+  spare.erase_count = static_cast<uint16_t>(block.erase_count);
+  page.written = true;
+  page.payload = payload;
+  page.spare = spare;
+  ++block.write_pointer;
+  stats_.OnPageWrite(purpose);
+  return spare.seq;
+}
+
+PageReadResult FlashDevice::ReadPage(PhysicalAddress addr, IoPurpose purpose) {
+  CheckAddress(addr);
+  stats_.OnPageRead(purpose);
+  const PageRecord& page = pages_[FlatIndex(addr)];
+  return PageReadResult{page.written, page.payload, page.spare};
+}
+
+PageReadResult FlashDevice::ReadSpare(PhysicalAddress addr, IoPurpose purpose) {
+  CheckAddress(addr);
+  stats_.OnSpareRead(purpose);
+  const PageRecord& page = pages_[FlatIndex(addr)];
+  return PageReadResult{page.written, 0, page.spare};
+}
+
+void FlashDevice::EraseBlock(BlockId block_id, IoPurpose purpose) {
+  GECKO_CHECK_LT(block_id, geometry_.num_blocks);
+  BlockRecord& block = blocks_[block_id];
+  uint64_t base = uint64_t{block_id} * geometry_.pages_per_block;
+  for (uint32_t i = 0; i < geometry_.pages_per_block; ++i) {
+    pages_[base + i] = PageRecord{};
+  }
+  block.write_pointer = 0;
+  ++block.erase_count;
+  block.last_erase_seq = next_seq_++;
+  ++global_erase_count_;
+  stats_.OnErase(purpose);
+}
+
+uint32_t FlashDevice::PagesWritten(BlockId block) const {
+  GECKO_CHECK_LT(block, geometry_.num_blocks);
+  return blocks_[block].write_pointer;
+}
+
+bool FlashDevice::IsWritten(PhysicalAddress addr) const {
+  CheckAddress(addr);
+  return pages_[FlatIndex(addr)].written;
+}
+
+uint32_t FlashDevice::EraseCount(BlockId block) const {
+  GECKO_CHECK_LT(block, geometry_.num_blocks);
+  return blocks_[block].erase_count;
+}
+
+uint64_t FlashDevice::LastEraseSeq(BlockId block) const {
+  GECKO_CHECK_LT(block, geometry_.num_blocks);
+  return blocks_[block].last_erase_seq;
+}
+
+}  // namespace gecko

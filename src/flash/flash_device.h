@@ -1,0 +1,121 @@
+// Simulated NAND flash device: the substrate every FTL in this repository
+// runs on (our EagleTree-equivalent; see DESIGN.md §3 for the substitution
+// rationale).
+//
+// The device enforces the NAND idiosyncrasies of Section 2 of the paper:
+//   (1) reads and writes happen at page granularity;
+//   (2) a page cannot be rewritten until its block is erased;
+//   (3) blocks wear out (erase counters are tracked);
+//   (4) writes within a block must be sequential;
+//   (5) reads and writes have asymmetric latencies (LatencyModel).
+//
+// Pages carry a 64-bit payload token instead of real 4 KB buffers. The
+// token is enough to verify end-to-end data integrity (no FTL may ever
+// return the wrong token for a logical page), while letting simulations
+// model terabyte-scale metadata behaviour in megabytes of host RAM.
+//
+// Power failure: flash contents (payloads + spare areas + erase counters)
+// persist; only FTL RAM structures are lost. The device itself therefore
+// needs no power-failure hook; FTLs expose CrashAndRecover() on top of it.
+
+#ifndef GECKOFTL_FLASH_FLASH_DEVICE_H_
+#define GECKOFTL_FLASH_FLASH_DEVICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "flash/geometry.h"
+#include "flash/io_stats.h"
+#include "flash/latency.h"
+#include "flash/spare_area.h"
+#include "flash/types.h"
+
+namespace gecko {
+
+/// Result of reading a page (payload + spare + whether it was programmed).
+struct PageReadResult {
+  bool written = false;
+  uint64_t payload = 0;
+  SpareArea spare;
+};
+
+/// Simulated NAND flash device. Not thread-safe; one per simulation.
+class FlashDevice {
+ public:
+  FlashDevice(const Geometry& geometry, LatencyModel latency = LatencyModel());
+
+  FlashDevice(const FlashDevice&) = delete;
+  FlashDevice& operator=(const FlashDevice&) = delete;
+
+  const Geometry& geometry() const { return geometry_; }
+  IoStats& stats() { return stats_; }
+  const IoStats& stats() const { return stats_; }
+
+  /// Programs the next free page of `addr.block`; `addr.page` must equal the
+  /// block's write pointer (sequential-programming rule). The device stamps
+  /// `spare.seq` with a fresh global sequence number and `spare.erase_count`
+  /// with the block's wear counter, then returns that sequence number.
+  uint64_t WritePage(PhysicalAddress addr, SpareArea spare, uint64_t payload,
+                     IoPurpose purpose);
+
+  /// Reads a full page (payload + spare). Charged one page read.
+  PageReadResult ReadPage(PhysicalAddress addr, IoPurpose purpose);
+
+  /// Reads only the spare area (~32x cheaper than a page read). Reading the
+  /// spare of an unprogrammed page returns written=false with a blank spare,
+  /// which is how recovery scans detect free pages/blocks.
+  PageReadResult ReadSpare(PhysicalAddress addr, IoPurpose purpose);
+
+  /// Erases a block: all pages become free, the wear counter increments.
+  void EraseBlock(BlockId block, IoPurpose purpose);
+
+  // --- Introspection (no IO charge; used by tests, invariant checks, and
+  // --- RAM-resident FTL bookkeeping that mirrors what firmware would know).
+
+  /// Number of pages programmed in `block` since its last erase.
+  uint32_t PagesWritten(BlockId block) const;
+
+  bool IsWritten(PhysicalAddress addr) const;
+
+  /// Lifetime erase count of `block`.
+  uint32_t EraseCount(BlockId block) const;
+
+  /// Total erases across the device (the wear-leveling global counter).
+  uint64_t GlobalEraseCount() const { return global_erase_count_; }
+
+  /// Current global write sequence number (monotone "timestamp").
+  uint64_t CurrentSeq() const { return next_seq_; }
+
+  /// Sequence number at which `block` was last erased (0 if never).
+  uint64_t LastEraseSeq(BlockId block) const;
+
+  uint64_t FlatIndex(PhysicalAddress addr) const {
+    return uint64_t{addr.block} * geometry_.pages_per_block + addr.page;
+  }
+
+ private:
+  struct PageRecord {
+    bool written = false;
+    uint64_t payload = 0;
+    SpareArea spare;
+  };
+
+  struct BlockRecord {
+    uint32_t write_pointer = 0;   // next page offset to program
+    uint32_t erase_count = 0;
+    uint64_t last_erase_seq = 0;  // global seq when last erased
+  };
+
+  void CheckAddress(PhysicalAddress addr) const;
+
+  Geometry geometry_;
+  IoStats stats_;
+  std::vector<PageRecord> pages_;
+  std::vector<BlockRecord> blocks_;
+  uint64_t next_seq_ = 1;
+  uint64_t global_erase_count_ = 0;
+};
+
+}  // namespace gecko
+
+#endif  // GECKOFTL_FLASH_FLASH_DEVICE_H_

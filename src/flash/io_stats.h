@@ -1,0 +1,121 @@
+// IO accounting for the flash device, broken down by purpose.
+//
+// Every device operation is tagged with an IoPurpose so experiments can
+// report the write-amplification breakdown of Figure 13 (user data vs.
+// translation metadata vs. page-validity metadata) and the per-interval
+// series of Figure 9.
+
+#ifndef GECKOFTL_FLASH_IO_STATS_H_
+#define GECKOFTL_FLASH_IO_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "flash/latency.h"
+
+namespace gecko {
+
+/// Why an IO happened. kUserWrite/kUserRead are the application's own IOs;
+/// everything else is internal and contributes to write-amplification.
+enum class IoPurpose : uint8_t {
+  kUserWrite = 0,     // the application write landing on flash
+  kUserRead,          // the application read of a user page
+  kGcMigration,       // reads/writes that move live pages off a GC victim
+  kTranslation,       // translation-page reads/writes (sync ops, misses)
+  kPvm,               // page-validity metadata (Gecko runs / PVB / PVL)
+  kRecovery,          // IOs performed while recovering from power failure
+  kWearLeveling,      // wear-leveling scans and migrations
+  kOther,
+};
+
+inline constexpr int kNumIoPurposes = 8;
+
+const char* IoPurposeName(IoPurpose p);
+
+/// Raw operation counts, indexable by purpose. Value-type; subtractable to
+/// form per-interval deltas.
+struct IoCounters {
+  std::array<uint64_t, kNumIoPurposes> page_reads{};
+  std::array<uint64_t, kNumIoPurposes> page_writes{};
+  std::array<uint64_t, kNumIoPurposes> spare_reads{};
+  std::array<uint64_t, kNumIoPurposes> erases{};
+  uint64_t logical_writes = 0;  // application-level page updates
+  uint64_t logical_reads = 0;
+
+  uint64_t TotalReads() const;
+  uint64_t TotalWrites() const;
+  uint64_t TotalSpareReads() const;
+  uint64_t TotalErases() const;
+
+  /// Internal IOs: everything except the application's own page IOs.
+  uint64_t InternalReads() const;
+  uint64_t InternalWrites() const;
+
+  uint64_t ReadsFor(IoPurpose p) const {
+    return page_reads[static_cast<int>(p)];
+  }
+  uint64_t WritesFor(IoPurpose p) const {
+    return page_writes[static_cast<int>(p)];
+  }
+
+  IoCounters operator-(const IoCounters& other) const;
+
+  /// Write-amplification as defined in Section 5:
+  ///   WA = (i_writes + i_reads / delta) / logical_writes
+  /// where i_writes/i_reads are internal IOs per application update.
+  double WriteAmplification(double delta) const;
+
+  /// WA contribution of a single purpose (for the Figure 13 breakdown).
+  double WriteAmplificationFor(IoPurpose p, double delta) const;
+
+  std::string DebugString() const;
+};
+
+/// Mutable accumulator owned by the FlashDevice. Also integrates modeled
+/// time from the LatencyModel so recovery experiments can report seconds.
+class IoStats {
+ public:
+  explicit IoStats(LatencyModel latency = LatencyModel())
+      : latency_(latency) {}
+
+  void OnPageRead(IoPurpose p) {
+    ++counters_.page_reads[static_cast<int>(p)];
+    elapsed_us_ += latency_.page_read_us;
+  }
+  void OnPageWrite(IoPurpose p) {
+    ++counters_.page_writes[static_cast<int>(p)];
+    elapsed_us_ += latency_.page_write_us;
+  }
+  void OnSpareRead(IoPurpose p) {
+    ++counters_.spare_reads[static_cast<int>(p)];
+    elapsed_us_ += latency_.spare_read_us;
+  }
+  void OnErase(IoPurpose p) {
+    ++counters_.erases[static_cast<int>(p)];
+    elapsed_us_ += latency_.erase_us;
+  }
+  void OnLogicalWrite() { ++counters_.logical_writes; }
+  void OnLogicalRead() { ++counters_.logical_reads; }
+
+  const IoCounters& counters() const { return counters_; }
+  const LatencyModel& latency() const { return latency_; }
+  double elapsed_us() const { return elapsed_us_; }
+
+  /// Snapshot for interval measurements (Figure 9 uses 10k-write windows).
+  IoCounters Snapshot() const { return counters_; }
+
+  void Reset() {
+    counters_ = IoCounters();
+    elapsed_us_ = 0;
+  }
+
+ private:
+  LatencyModel latency_;
+  IoCounters counters_;
+  double elapsed_us_ = 0;
+};
+
+}  // namespace gecko
+
+#endif  // GECKOFTL_FLASH_IO_STATS_H_

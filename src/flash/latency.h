@@ -1,0 +1,27 @@
+// Latency model for flash operations.
+//
+// Constants follow the paper's evaluation (Section 5 and footnotes 4/5):
+// a page read takes ~100 us, a page write ~1 ms (delta = 10), and a spare
+// area read ~3 us (spare areas are 32x smaller than pages). Erase latency
+// is not part of the paper's write-amplification metric but is tracked for
+// completeness.
+
+#ifndef GECKOFTL_FLASH_LATENCY_H_
+#define GECKOFTL_FLASH_LATENCY_H_
+
+namespace gecko {
+
+/// Operation latencies in microseconds plus the read/write asymmetry delta.
+struct LatencyModel {
+  double page_read_us = 100.0;
+  double page_write_us = 1000.0;
+  double spare_read_us = 3.0;    // ~ page_read / 32
+  double erase_us = 2000.0;
+
+  /// delta: time to write a flash page / time to read one (10 in the paper).
+  double Delta() const { return page_write_us / page_read_us; }
+};
+
+}  // namespace gecko
+
+#endif  // GECKOFTL_FLASH_LATENCY_H_

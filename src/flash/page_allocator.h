@@ -1,0 +1,34 @@
+// Interface through which flash-resident structures obtain page slots.
+//
+// The FTL's BlockManager implements this for the full system (three block
+// groups with one active append block each, Figure 8 of the paper). A
+// self-contained SimpleAllocator is provided for experiments that exercise
+// a page-validity structure in isolation (Sections 5.1/5.2).
+
+#ifndef GECKOFTL_FLASH_PAGE_ALLOCATOR_H_
+#define GECKOFTL_FLASH_PAGE_ALLOCATOR_H_
+
+#include "flash/types.h"
+
+namespace gecko {
+
+/// Allocates flash pages append-only and tracks metadata-page liveness so
+/// fully-invalid metadata blocks can be erased (the GeckoFTL GC policy for
+/// metadata, Section 4.2).
+class PageAllocator {
+ public:
+  virtual ~PageAllocator() = default;
+
+  /// Returns the address of the next free page for content of `type`.
+  /// The caller must program it immediately (the device enforces sequential
+  /// programming). Aborts if the device is configured too small.
+  virtual PhysicalAddress AllocatePage(PageType type) = 0;
+
+  /// Marks a previously-written metadata page obsolete. When every page of
+  /// a metadata block is obsolete, the implementation may erase the block.
+  virtual void OnMetadataPageInvalidated(PhysicalAddress addr) = 0;
+};
+
+}  // namespace gecko
+
+#endif  // GECKOFTL_FLASH_PAGE_ALLOCATOR_H_

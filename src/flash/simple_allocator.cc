@@ -1,0 +1,93 @@
+#include "flash/simple_allocator.h"
+
+#include <unordered_set>
+
+namespace gecko {
+
+SimpleAllocator::SimpleAllocator(FlashDevice* device, BlockId first_block,
+                                 uint32_t num_blocks, IoPurpose erase_purpose)
+    : device_(device),
+      first_block_(first_block),
+      num_blocks_(num_blocks),
+      erase_purpose_(erase_purpose),
+      live_count_(num_blocks, 0) {
+  GECKO_CHECK_LE(uint64_t{first_block} + num_blocks,
+                 device->geometry().num_blocks);
+  for (uint32_t i = 0; i < num_blocks; ++i) {
+    free_blocks_.push_back(first_block + i);
+  }
+}
+
+PhysicalAddress SimpleAllocator::AllocatePage(PageType type) {
+  (void)type;
+  const uint32_t pages_per_block = device_->geometry().pages_per_block;
+  if (!active_.IsValid() || active_.page >= pages_per_block) {
+    GECKO_CHECK(!free_blocks_.empty())
+        << "SimpleAllocator out of blocks; enlarge the metadata region";
+    active_ = PhysicalAddress{free_blocks_.front(), 0};
+    free_blocks_.pop_front();
+  }
+  PhysicalAddress out = active_;
+  ++active_.page;
+  ++live_count_[out.block - first_block_];
+  return out;
+}
+
+void SimpleAllocator::OnMetadataPageInvalidated(PhysicalAddress addr) {
+  GECKO_CHECK_GE(addr.block, first_block_);
+  GECKO_CHECK_LT(addr.block, first_block_ + num_blocks_);
+  uint32_t idx = addr.block - first_block_;
+  GECKO_CHECK_GT(live_count_[idx], 0u)
+      << "double invalidation of metadata page " << addr.ToString();
+  --live_count_[idx];
+  EraseIfFullyInvalid(addr.block);
+}
+
+void SimpleAllocator::EraseIfFullyInvalid(BlockId block) {
+  uint32_t idx = block - first_block_;
+  // The active block is never erased: its free tail is still needed.
+  if (active_.IsValid() && block == active_.block) return;
+  if (live_count_[idx] != 0) return;
+  if (device_->PagesWritten(block) == 0) return;  // already free
+  device_->EraseBlock(block, erase_purpose_);
+  free_blocks_.push_back(block);
+  ++blocks_erased_;
+}
+
+std::vector<BlockId> SimpleAllocator::NonFreeBlocks() const {
+  std::vector<BlockId> out;
+  for (uint32_t i = 0; i < num_blocks_; ++i) {
+    if (device_->PagesWritten(first_block_ + i) > 0) {
+      out.push_back(first_block_ + i);
+    }
+  }
+  return out;
+}
+
+void SimpleAllocator::RecoverRamState(
+    const std::vector<PhysicalAddress>& live_pages) {
+  std::fill(live_count_.begin(), live_count_.end(), 0);
+  free_blocks_.clear();
+  active_ = kNullAddress;
+  for (const PhysicalAddress& pa : live_pages) {
+    GECKO_CHECK_GE(pa.block, first_block_);
+    GECKO_CHECK_LT(pa.block, first_block_ + num_blocks_);
+    ++live_count_[pa.block - first_block_];
+  }
+  for (uint32_t i = 0; i < num_blocks_; ++i) {
+    BlockId block = first_block_ + i;
+    if (device_->PagesWritten(block) == 0) {
+      free_blocks_.push_back(block);
+    } else if (live_count_[i] == 0) {
+      // Only dead pages (e.g. a half-written run): reclaim immediately.
+      device_->EraseBlock(block, erase_purpose_);
+      free_blocks_.push_back(block);
+      ++blocks_erased_;
+    }
+  }
+  // Partially-written blocks with live pages are abandoned as append
+  // targets; a fresh active block is taken on the next allocation. Their
+  // free tail pages are reclaimed when the block becomes fully invalid.
+}
+
+}  // namespace gecko

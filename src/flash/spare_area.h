@@ -1,0 +1,40 @@
+// The spare (out-of-band) area of a flash page.
+//
+// Section 2 of the paper: every flash page has a physically adjacent spare
+// area, 32x smaller than the page, written atomically with it and not
+// updatable until the block is erased. FTLs store per-page metadata there:
+// the logical address currently written, a write timestamp, the page type,
+// and structure-specific fields (translation page id, Gecko run id, ...).
+
+#ifndef GECKOFTL_FLASH_SPARE_AREA_H_
+#define GECKOFTL_FLASH_SPARE_AREA_H_
+
+#include <cstdint>
+
+#include "flash/types.h"
+
+namespace gecko {
+
+/// Metadata written alongside a flash page. `key` is interpreted by page
+/// type: the logical page number for user pages, the translation-page id
+/// for translation pages, and the owning run id for Gecko/PVM pages.
+/// `aux` carries a second structure-specific value (e.g. the page's index
+/// within its run, or a PVB chunk id).
+struct SpareArea {
+  PageType type = PageType::kFree;
+  uint32_t key = kInvalidU32;
+  uint32_t aux = kInvalidU32;
+  /// Global write sequence number; assigned by the device at program time
+  /// and used as the timestamp in all recovery algorithms (Appendix C).
+  uint64_t seq = 0;
+  /// Erase count of the block at last erase, persisted per Appendix D.
+  uint16_t erase_count = 0;
+
+  bool IsUser() const { return type == PageType::kUser; }
+  bool IsTranslation() const { return type == PageType::kTranslation; }
+  bool IsPvm() const { return type == PageType::kPvm; }
+};
+
+}  // namespace gecko
+
+#endif  // GECKOFTL_FLASH_SPARE_AREA_H_

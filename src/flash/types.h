@@ -1,0 +1,74 @@
+// Basic address and page-type vocabulary shared by the whole library.
+
+#ifndef GECKOFTL_FLASH_TYPES_H_
+#define GECKOFTL_FLASH_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace gecko {
+
+/// Logical page number: the address space the application sees.
+using Lpn = uint32_t;
+
+/// Block index within the device.
+using BlockId = uint32_t;
+
+/// Sentinel for "no logical page" / "no block".
+inline constexpr uint32_t kInvalidU32 = std::numeric_limits<uint32_t>::max();
+
+/// Physical address of one flash page: block index + page offset in block.
+struct PhysicalAddress {
+  BlockId block = kInvalidU32;
+  uint32_t page = kInvalidU32;
+
+  bool IsValid() const { return block != kInvalidU32; }
+
+  bool operator==(const PhysicalAddress& o) const {
+    return block == o.block && page == o.page;
+  }
+  bool operator!=(const PhysicalAddress& o) const { return !(*this == o); }
+  /// Lexicographic order; used by ordered containers in tests.
+  bool operator<(const PhysicalAddress& o) const {
+    return block != o.block ? block < o.block : page < o.page;
+  }
+
+  std::string ToString() const {
+    return "(" + std::to_string(block) + "," + std::to_string(page) + ")";
+  }
+};
+
+inline constexpr PhysicalAddress kNullAddress{};
+
+/// What a flash page stores. The paper's three block groups (Figure 8):
+/// user data, translation pages, and page-validity metadata (Gecko runs,
+/// flash-resident PVB pages, or IB-FTL log pages, depending on the FTL).
+enum class PageType : uint8_t {
+  kFree = 0,     // never written since the last erase
+  kUser = 1,
+  kTranslation = 2,
+  kPvm = 3,      // page-validity metadata ("Gecko blocks" in the paper)
+};
+
+inline const char* PageTypeName(PageType t) {
+  switch (t) {
+    case PageType::kFree: return "free";
+    case PageType::kUser: return "user";
+    case PageType::kTranslation: return "translation";
+    case PageType::kPvm: return "pvm";
+  }
+  return "?";
+}
+
+}  // namespace gecko
+
+template <>
+struct std::hash<gecko::PhysicalAddress> {
+  size_t operator()(const gecko::PhysicalAddress& a) const {
+    return std::hash<uint64_t>()((uint64_t{a.block} << 32) | a.page);
+  }
+};
+
+#endif  // GECKOFTL_FLASH_TYPES_H_

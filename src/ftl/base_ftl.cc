@@ -1,0 +1,728 @@
+#include "ftl/base_ftl.h"
+
+#include <algorithm>
+
+namespace gecko {
+
+
+BaseFtl::BaseFtl(FlashDevice* device, const FtlConfig& config)
+    : device_(device),
+      config_(config),
+      blocks_(device, config.gc_policy == GcPolicy::kNeverCollectMetadata),
+      translation_(device->geometry(), device, &blocks_),
+      cache_(config.cache_capacity),
+      bvc_(device->geometry().num_blocks, 0) {
+  if (config.wear_leveling) {
+    wear_ = std::make_unique<WearLeveler>(device, config.wear_gap_threshold);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Application writes and reads (Section 4, "Serving Application ...").
+// ---------------------------------------------------------------------------
+
+Status BaseFtl::Write(Lpn lpn, uint64_t payload) {
+  if (lpn >= device_->geometry().NumLogicalPages()) {
+    return Status::InvalidArgument("lpn beyond logical capacity");
+  }
+  ++counters_.writes;
+  device_->stats().OnLogicalWrite();
+  EnsureFreeSpace();
+
+  // Program the new version on a free user page.
+  PhysicalAddress ppa = blocks_.AllocatePage(PageType::kUser);
+  SpareArea spare;
+  spare.type = PageType::kUser;
+  spare.key = lpn;
+  device_->WritePage(ppa, spare, payload, IoPurpose::kUserWrite);
+
+  MappingEntry* entry = cache_.Find(lpn);
+  if (entry != nullptr) {
+    ++counters_.cache_hits;
+    // The cached address is the before-image: identify it immediately
+    // (Section 4.1, "Application Writes"). The UIP flag is left as is —
+    // an older unidentified image may still exist.
+    ReportInvalid(entry->ppa);
+    cache_.MarkDirty(entry);
+    entry->ppa = ppa;
+  } else {
+    ++counters_.cache_misses;
+    bool uip = true;
+    if (config_.invalidation == InvalidationMode::kImmediate) {
+      // Baselines fetch the mapping from flash to identify the
+      // before-image right away (one translation-page read on the write
+      // path — the cost GeckoFTL's lazy scheme avoids).
+      PhysicalAddress old =
+          translation_.Lookup(lpn, IoPurpose::kTranslation);
+      if (old.IsValid()) ReportInvalid(old);
+      uip = false;
+    }
+    while (cache_.NeedsEviction()) EvictOne();
+    cache_.Insert(lpn, MappingEntry{ppa, /*dirty=*/true, uip,
+                                    /*uncertain=*/false});
+  }
+  NoteCacheOp();
+  EnforceDirtyCap();
+  if (wear_ != nullptr) {
+    BlockId victim = wear_->OnWrite();
+    if (victim != kInvalidU32 &&
+        blocks_.BlockType(victim) == PageType::kUser &&
+        !blocks_.IsActive(victim) && !blocks_.IsPinned(victim) &&
+        !in_gc_) {
+      in_gc_ = true;
+      CollectUserBlock(victim);
+      in_gc_ = false;
+    }
+  }
+  return Status::Ok();
+}
+
+Status BaseFtl::Read(Lpn lpn, uint64_t* payload) {
+  if (lpn >= device_->geometry().NumLogicalPages()) {
+    return Status::InvalidArgument("lpn beyond logical capacity");
+  }
+  ++counters_.reads;
+  device_->stats().OnLogicalRead();
+
+  PhysicalAddress ppa;
+  MappingEntry* entry = cache_.Find(lpn);
+  if (entry != nullptr) {
+    ++counters_.cache_hits;
+    ppa = entry->ppa;
+  } else {
+    ++counters_.cache_misses;
+    ppa = translation_.Lookup(lpn, IoPurpose::kTranslation);
+    if (!ppa.IsValid()) {
+      return Status::NotFound("logical page never written");
+    }
+    // Cache the fetched entry, clean with no unidentified image
+    // (Section 4.1, "Application Reads").
+    while (cache_.NeedsEviction()) EvictOne();
+    cache_.Insert(lpn, MappingEntry{ppa, false, false, false});
+    NoteCacheOp();
+  }
+
+  PageReadResult r = device_->ReadPage(ppa, IoPurpose::kUserRead);
+  GECKO_CHECK(r.written) << "mapping points to unwritten page";
+  GECKO_CHECK_EQ(r.spare.key, lpn) << "mapping points to wrong logical page";
+  *payload = r.payload;
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Invalidation reporting and the BVC.
+// ---------------------------------------------------------------------------
+
+#ifdef GECKO_DEBUG_GC_GROUND_TRUTH
+void BaseFtl::DebugCheckNotAuthoritative(PhysicalAddress addr,
+                                         const char* tag) {
+  // Ground-truth invariant for every invalidation report: a strictly newer
+  // on-flash copy of the page's lpn must exist somewhere on the device.
+  if (!device_->IsWritten(addr)) return;
+  PageReadResult r = device_->ReadSpare(addr, IoPurpose::kOther);
+  if (!r.spare.IsUser()) return;
+  Lpn lpn = r.spare.key;
+  const Geometry& g = device_->geometry();
+  for (BlockId b = 0; b < g.num_blocks; ++b) {
+    for (uint32_t p = 0; p < g.pages_per_block; ++p) {
+      PhysicalAddress other{b, p};
+      if (other == addr || !device_->IsWritten(other)) continue;
+      PageReadResult o = device_->ReadSpare(other, IoPurpose::kOther);
+      if (o.spare.IsUser() && o.spare.key == lpn &&
+          o.spare.seq > r.spare.seq) {
+        return;  // a newer copy exists: the report is legitimate
+      }
+    }
+  }
+  std::fprintf(stderr, "FALSE REPORT [%s] lpn=%u page=%s (newest copy)\n",
+               tag, lpn, addr.ToString().c_str());
+  std::abort();
+}
+#endif
+
+void BaseFtl::ReportInvalid(PhysicalAddress addr) {
+  pvm()->RecordInvalidPage(addr);
+  // BVC tracks identified-invalid pages; clamp against double reports
+  // (possible after recovery, Appendix C.3.2 — harmless for the bitmap,
+  // so merely bounded here).
+  if (bvc_[addr.block] < device_->geometry().pages_per_block) {
+    ++bvc_[addr.block];
+  }
+  if (addr.block == gc_victim_) {
+    gc_victim_fresh_invalid_.Set(addr.page);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Synchronization operations (Section 4 + Appendix C.3).
+// ---------------------------------------------------------------------------
+
+void BaseFtl::SyncTranslationPage(TPageId tpage) {
+  std::vector<Lpn> dirty = cache_.DirtyInRange(
+      translation_.FirstLpnOf(tpage), translation_.LastLpnOf(tpage));
+  if (dirty.empty()) return;
+  ++counters_.sync_ops;
+
+  std::vector<PhysicalAddress> mappings =
+      translation_.ReadTPage(tpage, IoPurpose::kTranslation);
+  if (mappings.empty()) {
+    mappings.assign(translation_.entries_per_page(), kNullAddress);
+  }
+
+  bool any_changed = false;
+  for (Lpn lpn : dirty) {
+    MappingEntry* entry = cache_.Find(lpn);
+    GECKO_CHECK(entry != nullptr && entry->dirty);
+    PhysicalAddress flash_ppa = mappings[lpn % translation_.entries_per_page()];
+
+    if (entry->uncertain && flash_ppa == entry->ppa) {
+      // Appendix C.3.1: the restored entry was in fact clean; fix the
+      // flags and omit it from the synchronization.
+      entry->dirty = false;
+      entry->uip = false;
+      entry->uncertain = false;
+      cache_.NoteCleaned();
+      continue;
+    }
+
+    if (entry->uip && flash_ppa.IsValid() && flash_ppa != entry->ppa) {
+      // The flash-resident mapping points at the unidentified
+      // before-image. Uncertain entries must verify the page still holds
+      // this logical page before reporting (Appendix C.3.2) — it may have
+      // been erased and rewritten since.
+      bool report = true;
+      if (entry->uncertain) {
+        PageReadResult r =
+            device_->ReadSpare(flash_ppa, IoPurpose::kTranslation);
+        report = r.written && r.spare.IsUser() && r.spare.key == lpn;
+      }
+#ifdef GECKO_DEBUG_GC_GROUND_TRUTH
+      if (report) DebugCheckNotAuthoritative(flash_ppa, "sync-uip");
+#endif
+      if (report) ReportInvalid(flash_ppa);
+    }
+
+    mappings[lpn % translation_.entries_per_page()] = entry->ppa;
+    entry->dirty = false;
+    entry->uip = false;
+    entry->uncertain = false;
+    cache_.NoteCleaned();
+    any_changed = true;
+  }
+
+  if (!any_changed) {
+    // Every entry was omitted: abort the synchronization, saving the
+    // flash write (Appendix C.3.1).
+    ++counters_.aborted_sync_ops;
+    return;
+  }
+
+  PhysicalAddress old = translation_.CommitTPage(tpage, std::move(mappings),
+                                                 IoPurpose::kTranslation);
+  if (old.IsValid()) OnTranslationPageReplaced(tpage, old);
+}
+
+void BaseFtl::OnTranslationPageReplaced(TPageId, PhysicalAddress) {}
+
+void BaseFtl::EvictOne() {
+  Lpn victim = cache_.PeekLru();
+  const MappingEntry* entry = cache_.Peek(victim);
+  GECKO_CHECK(entry != nullptr);
+  if (entry->dirty) {
+    SyncTranslationPage(translation_.TPageOf(victim));
+  }
+  cache_.Erase(victim);
+}
+
+void BaseFtl::NoteCacheOp() {
+  if (config_.checkpoint_period == 0) return;
+  if (++cache_ops_since_checkpoint_ >= config_.checkpoint_period) {
+    cache_ops_since_checkpoint_ = 0;
+    TakeCheckpoint();
+  }
+}
+
+void BaseFtl::TakeCheckpoint() {
+  ++counters_.checkpoints;
+  std::vector<Lpn> stale_dirty = cache_.TakeCheckpoint();
+  // Synchronize per translation page (entries of the same page flush
+  // together, amortizing the write).
+  std::vector<TPageId> tpages;
+  for (Lpn lpn : stale_dirty) tpages.push_back(translation_.TPageOf(lpn));
+  std::sort(tpages.begin(), tpages.end());
+  tpages.erase(std::unique(tpages.begin(), tpages.end()), tpages.end());
+  for (TPageId t : tpages) SyncTranslationPage(t);
+}
+
+void BaseFtl::EnforceDirtyCap() {
+  uint32_t cap = config_.DirtyCap();
+  if (cap == 0) return;
+  while (cache_.dirty_count() > cap) {
+    Lpn oldest;
+    GECKO_CHECK(cache_.OldestDirty(&oldest));
+    SyncTranslationPage(translation_.TPageOf(oldest));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Garbage collection (Sections 4, 4.1, 4.2).
+// ---------------------------------------------------------------------------
+
+void BaseFtl::EnsureFreeSpace() {
+  if (in_gc_) return;
+  in_gc_ = true;
+  // A single collection can be transiently net-zero (migrations and
+  // metadata read-modify-writes consume pages before the victim's erase
+  // frees them), so progress is checked across the loop, not per round.
+  uint64_t rounds = 0;
+  while (blocks_.NumFreeBlocks() < config_.gc_free_block_threshold) {
+    CollectOneBlock();
+#ifdef GECKO_DEBUG_GC_GROUND_TRUTH
+    if (rounds + 2 >= uint64_t{2} * device_->geometry().num_blocks) {
+      const Geometry& g = device_->geometry();
+      for (BlockId b = 0; b < g.num_blocks; ++b) {
+        if (blocks_.BlockType(b) != PageType::kUser) continue;
+        uint32_t live = 0, stale = 0, unwritten = 0;
+        for (uint32_t p = 0; p < g.pages_per_block; ++p) {
+          PhysicalAddress a{b, p};
+          if (!device_->IsWritten(a)) { ++unwritten; continue; }
+          PageReadResult r = device_->ReadSpare(a, IoPurpose::kOther);
+          Lpn lpn = r.spare.key;
+          const MappingEntry* e = cache_.Peek(lpn);
+          PhysicalAddress auth =
+              e != nullptr ? e->ppa : translation_.Lookup(lpn, IoPurpose::kOther);
+          if (auth == a) ++live; else ++stale;
+        }
+        std::fprintf(stderr,
+                     "block %3u: live=%2u stale=%2u unwritten=%2u bvc=%2u "
+                     "active=%d\n",
+                     b, live, stale, unwritten, bvc_[b],
+                     blocks_.IsActive(b) ? 1 : 0);
+      }
+    }
+#endif
+    GECKO_CHECK_LE(++rounds, uint64_t{2} * device_->geometry().num_blocks)
+        << "GC livelock: no net space reclaimed";
+  }
+  in_gc_ = false;
+}
+
+BlockId BaseFtl::SelectVictim() {
+  // Greedy: the block with the fewest valid pages (equivalently, for full
+  // blocks, the most invalid pages). GeckoFTL's policy restricts the
+  // candidate set to user blocks (Section 4.2).
+  const Geometry& g = device_->geometry();
+  BlockId best = kInvalidU32;
+  int64_t best_valid = INT64_MAX;
+  for (BlockId b = 0; b < g.num_blocks; ++b) {
+    PageType type = blocks_.BlockType(b);
+    if (type == PageType::kFree) continue;
+    if (blocks_.IsActive(b) || blocks_.IsPinned(b)) continue;
+    if (config_.gc_policy == GcPolicy::kNeverCollectMetadata &&
+        type != PageType::kUser) {
+      continue;
+    }
+    uint32_t written = device_->PagesWritten(b);
+    uint32_t invalid = type == PageType::kUser
+                           ? bvc_[b]
+                           : written - blocks_.MetadataLivePages(b);
+    int64_t valid = int64_t{written} - invalid;
+    if (valid < best_valid) {
+      best_valid = valid;
+      best = b;
+    }
+  }
+  GECKO_CHECK_NE(best, kInvalidU32) << "no GC victim available";
+  return best;
+}
+
+void BaseFtl::CollectOneBlock() {
+  BlockId victim = SelectVictim();
+  ++counters_.gc_collections;
+  if (blocks_.BlockType(victim) == PageType::kUser) {
+    CollectUserBlock(victim);
+  } else {
+    CollectMetadataBlock(victim);
+  }
+}
+
+void BaseFtl::CollectUserBlock(BlockId victim) {
+  const Geometry& g = device_->geometry();
+  // One GC query to the page-validity store (Section 4, Figure 7).
+  Bitmap invalid = pvm()->QueryInvalidPages(victim);
+  gc_victim_ = victim;
+  gc_victim_fresh_invalid_ = Bitmap(g.pages_per_block);
+
+  for (uint32_t p = 0; p < g.pages_per_block; ++p) {
+    if (invalid.Test(p)) {
+      continue;  // known invalid: no spare read needed
+    }
+    // Reports that arrived after the query snapshot (from syncs triggered
+    // inside this very loop) supersede the snapshot.
+    if (gc_victim_fresh_invalid_.Test(p)) continue;
+    PhysicalAddress addr{victim, p};
+    PageReadResult spare = device_->ReadSpare(addr, IoPurpose::kGcMigration);
+    if (!spare.written) break;  // sequential programming: rest are free
+    GECKO_CHECK(spare.spare.IsUser());
+    Lpn lpn = spare.spare.key;
+
+    // UIP check (Section 4.1, "Garbage-Collection"): a cached entry that
+    // points elsewhere makes this page a stale copy — the cache is
+    // authoritative. With the UIP flag set, the before-image is now
+    // identified (and about to be erased), so the flag clears; without it
+    // (possible for baselines whose validity store lost records across a
+    // power failure) the page is equally dead and must not be migrated.
+    MappingEntry* entry = cache_.Find(lpn);
+    if (entry != nullptr && entry->ppa != addr) {
+      if (entry->uip) {
+        ++counters_.uip_detections;
+        entry->uip = false;
+      }
+      continue;
+    }
+    if (entry == nullptr &&
+        (config_.gc_validate_against_translation_table ||
+         spare.spare.seq < last_recovery_seq_)) {
+      // Crash-resilience: buffered invalidation records can die with a
+      // power failure, and some before-images evade the re-derivation
+      // paths of Appendix C.2. Pages that predate the last recovery are
+      // therefore validated against the translation table (authoritative
+      // for uncached lpns) before migration; younger pages are exactly
+      // tracked and skip this read (DESIGN.md §3).
+      PhysicalAddress current =
+          translation_.Lookup(lpn, IoPurpose::kGcMigration);
+      if (current != addr) continue;  // stale copy: do not migrate
+    }
+
+#ifdef GECKO_DEBUG_GC_GROUND_TRUTH
+    {
+      const MappingEntry* e = cache_.Peek(lpn);
+      PhysicalAddress authoritative =
+          e != nullptr ? e->ppa : translation_.Lookup(lpn, IoPurpose::kOther);
+      if (authoritative != addr) {
+        std::fprintf(stderr,
+                     "ZOMBIE MIGRATION lpn=%u page=%s auth=%s cached=%d "
+                     "uip=%d dirty=%d\n",
+                     lpn, addr.ToString().c_str(),
+                     authoritative.ToString().c_str(), e != nullptr,
+                     e != nullptr ? e->uip : -1, e != nullptr ? e->dirty : -1);
+        std::abort();
+      }
+    }
+#endif
+    // Migrate: read + write, treated like an application write (a dirty
+    // cached mapping entry is created). UIP=false — the before-image is
+    // this very page (DESIGN.md deviation 3).
+    PageReadResult page = device_->ReadPage(addr, IoPurpose::kGcMigration);
+    PhysicalAddress dest = blocks_.AllocatePage(PageType::kUser);
+    SpareArea new_spare;
+    new_spare.type = PageType::kUser;
+    new_spare.key = lpn;
+    device_->WritePage(dest, new_spare, page.payload, IoPurpose::kGcMigration);
+    ++counters_.gc_migrations;
+    UpsertCacheEntry(lpn, dest, /*uip=*/false);
+  }
+
+  gc_victim_ = kInvalidU32;
+#ifdef GECKO_DEBUG_GC_GROUND_TRUTH
+  for (uint32_t p = 0; p < g.pages_per_block; ++p) {
+    PhysicalAddress a{victim, p};
+    if (!device_->IsWritten(a)) continue;
+    PageReadResult r = device_->ReadSpare(a, IoPurpose::kOther);
+    if (!r.spare.IsUser()) continue;
+    Lpn lpn = r.spare.key;
+    const MappingEntry* e = cache_.Peek(lpn);
+    PhysicalAddress auth =
+        e != nullptr ? e->ppa : translation_.Lookup(lpn, IoPurpose::kOther);
+    if (auth == a) {
+      std::fprintf(stderr,
+                   "ERASING LIVE PAGE lpn=%u page=%s invalid_bit=%d fresh=%d "
+                   "cached=%d uip=%d dirty=%d uncertain=%d\n",
+                   lpn, a.ToString().c_str(), invalid.Test(p) ? 1 : 0,
+                   gc_victim_fresh_invalid_.size() > 0 &&
+                           gc_victim_fresh_invalid_.Test(p)
+                       ? 1
+                       : 0,
+                   e != nullptr, e != nullptr ? e->uip : -1,
+                   e != nullptr ? e->dirty : -1,
+                   e != nullptr ? e->uncertain : -1);
+      std::abort();
+    }
+  }
+#endif
+  // Record the erase in the validity store (one cheap buffered insert for
+  // Logarithmic Gecko; Section 3's erase flag) and erase the block.
+  pvm()->RecordErase(victim);
+  bvc_[victim] = 0;
+  EraseBlockForGc(victim, IoPurpose::kGcMigration);
+}
+
+void BaseFtl::CollectMetadataBlock(BlockId victim) {
+  const Geometry& g = device_->geometry();
+  PageType type = blocks_.BlockType(victim);
+  for (uint32_t p = 0; p < g.pages_per_block; ++p) {
+    PhysicalAddress addr{victim, p};
+    PageReadResult spare = device_->ReadSpare(
+        addr, type == PageType::kTranslation ? IoPurpose::kTranslation
+                                             : IoPurpose::kPvm);
+    if (!spare.written) break;
+    if (type == PageType::kTranslation) {
+      TPageId t = spare.spare.key;
+      if (translation_.Exists(t) && translation_.Location(t) == addr) {
+        translation_.MigrateTPage(t, IoPurpose::kTranslation);
+        ++counters_.gc_migrations;
+      }
+    } else {
+      MigratePvmPage(addr);
+    }
+  }
+  EraseBlockForGc(victim, type == PageType::kTranslation
+                              ? IoPurpose::kTranslation
+                              : IoPurpose::kPvm);
+}
+
+void BaseFtl::MigratePvmPage(PhysicalAddress) {
+  GECKO_CHECK(false) << "this FTL has no flash-resident validity pages to "
+                        "migrate (or must override MigratePvmPage)";
+}
+
+void BaseFtl::EraseBlockForGc(BlockId block, IoPurpose purpose) {
+  translation_.OnBlockErased(block);
+  device_->EraseBlock(block, purpose);
+  blocks_.OnBlockErased(block);
+}
+
+void BaseFtl::UpsertCacheEntry(Lpn lpn, PhysicalAddress ppa, bool uip) {
+  MappingEntry* entry = cache_.Find(lpn);
+  if (entry != nullptr) {
+    cache_.MarkDirty(entry);
+    entry->ppa = ppa;
+    // The existing UIP flag is kept: migrating or rewriting this page does
+    // not identify any *older* unidentified before-image.
+  } else {
+    while (cache_.NeedsEviction()) EvictOne();
+    cache_.Insert(lpn, MappingEntry{ppa, true, uip, false});
+  }
+  NoteCacheOp();
+  EnforceDirtyCap();
+}
+
+// ---------------------------------------------------------------------------
+// Power failure and recovery (Section 4.3, Appendix C).
+// ---------------------------------------------------------------------------
+
+void BaseFtl::OnPowerFailing() {
+  if (!config_.battery) return;
+  // Battery-backed FTLs synchronize all dirty entries before power runs
+  // out (Section 2). The IO happens on residual power and does not count
+  // toward recovery time; it is charged to kOther so write-amplification
+  // measurements remain clean.
+  std::vector<Lpn> lpns = cache_.LruToMruOrder();
+  std::vector<TPageId> tpages;
+  for (Lpn lpn : lpns) {
+    const MappingEntry* e = cache_.Peek(lpn);
+    if (e != nullptr && e->dirty) tpages.push_back(translation_.TPageOf(lpn));
+  }
+  std::sort(tpages.begin(), tpages.end());
+  tpages.erase(std::unique(tpages.begin(), tpages.end()), tpages.end());
+  for (TPageId t : tpages) SyncTranslationPage(t);
+}
+
+std::vector<BlockManager::BidEntry> BaseFtl::BuildBid(
+    RecoveryReport* report) {
+  // GeckoRec step 1: one spare read per block gives its type and the
+  // timestamp of its first page (the Blocks Information Directory).
+  const Geometry& g = device_->geometry();
+  RecoveryStep& step = report->Add("block scan (BID)");
+  std::vector<BlockManager::BidEntry> bid(g.num_blocks);
+  for (BlockId b = 0; b < g.num_blocks; ++b) {
+    PageReadResult r =
+        device_->ReadSpare(PhysicalAddress{b, 0}, IoPurpose::kRecovery);
+    ++step.spare_reads;
+    BlockManager::BidEntry& e = bid[b];
+    if (!r.written) {
+      e.type = PageType::kFree;
+      continue;
+    }
+    e.type = r.spare.type;
+    e.first_seq = r.spare.seq;
+    e.pages_written = device_->PagesWritten(b);
+  }
+  return bid;
+}
+
+void BaseFtl::RecoverGmdStep(RecoveryReport* report) {
+  RecoveryStep& step = report->Add("GMD (translation-page spare scan)");
+  step.spare_reads = translation_.RecoverGmd(
+      blocks_.BlocksOfType(PageType::kTranslation), &recovered_versions_);
+}
+
+void BaseFtl::BackwardScanRecoverEntries(uint64_t scan_bound, bool mark_uip,
+                                         bool mark_uncertain,
+                                         bool report_duplicates,
+                                         RecoveryReport* report) {
+  // GeckoRec step 6: recreate mapping entries for the most recently
+  // updated logical pages by scanning user-block spare areas in reverse
+  // write order. Checkpoints bound the scan to 2 * period spare reads
+  // (Section 4.3). Duplicate logical addresses met deeper in the scan are
+  // older versions — report them invalid (DESIGN.md deviation 2).
+  RecoveryStep& step = report->Add("dirty mapping entries (backward scan)");
+
+  // Order user blocks by the timestamp of their newest page. First-page
+  // ordering would normally suffice (one active block at a time), but a
+  // block resumed as the append target after an earlier recovery carries
+  // new pages behind an old first-page timestamp.
+  struct UserBlock {
+    BlockId block;
+    uint64_t last_seq;
+  };
+  std::vector<UserBlock> user_blocks;
+  for (BlockId b : blocks_.BlocksOfType(PageType::kUser)) {
+    uint32_t written = device_->PagesWritten(b);
+    if (written == 0) continue;
+    PageReadResult r = device_->ReadSpare(PhysicalAddress{b, written - 1},
+                                          IoPurpose::kRecovery);
+    ++step.spare_reads;
+    if (r.written) user_blocks.push_back(UserBlock{b, r.spare.seq});
+  }
+  std::sort(user_blocks.begin(), user_blocks.end(),
+            [](const UserBlock& a, const UserBlock& b) {
+              return a.last_seq > b.last_seq;
+            });
+
+  // Budget: checkpoints bound the scan to ~2 * period pages (Section 4.3);
+  // blocks resumed across recoveries can interleave their page times with
+  // other blocks', so allow two extra blocks of slack before cutting off.
+  const Geometry& g = device_->geometry();
+  uint64_t budget = 2 * scan_bound + 2 * g.pages_per_block;
+  struct Copy {
+    PhysicalAddress addr;
+    uint64_t seq;
+  };
+  std::map<Lpn, Copy> newest;  // newest on-flash copy per lpn, by seq
+  for (const UserBlock& ub : user_blocks) {
+    if (budget == 0 || newest.size() >= cache_.capacity()) break;
+    uint32_t written = device_->PagesWritten(ub.block);
+    for (uint32_t i = written; i-- > 0;) {
+      if (budget == 0 || newest.size() >= cache_.capacity()) break;
+      PhysicalAddress addr{ub.block, i};
+      PageReadResult r = device_->ReadSpare(addr, IoPurpose::kRecovery);
+      ++step.spare_reads;
+      --budget;
+      if (!r.written || !r.spare.IsUser()) continue;
+      Lpn lpn = r.spare.key;
+      auto [it, inserted] = newest.emplace(lpn, Copy{addr, r.spare.seq});
+      if (inserted) continue;
+      // Two on-flash copies of the same lpn: the older one is a
+      // before-image whose buffered invalidation report may have been lost
+      // with the power failure (DESIGN.md deviation 2). Spare timestamps
+      // decide which copy is older — scan order alone is unreliable across
+      // resumed blocks.
+      Copy older{addr, r.spare.seq};
+      if (r.spare.seq > it->second.seq) {
+        older = it->second;
+        it->second = Copy{addr, r.spare.seq};
+      }
+      if (report_duplicates) {
+#ifdef GECKO_DEBUG_GC_GROUND_TRUTH
+        DebugCheckNotAuthoritative(older.addr, "scan-dup");
+#endif
+        ReportInvalid(older.addr);
+      }
+    }
+  }
+
+  // Insert oldest-first so the LRU order reflects write recency.
+  std::vector<std::pair<Lpn, Copy>> found(newest.begin(), newest.end());
+  std::sort(found.begin(), found.end(), [](const auto& a, const auto& b) {
+    return a.second.seq < b.second.seq;
+  });
+  for (const auto& [lpn, copy] : found) {
+    while (cache_.NeedsEviction()) cache_.Erase(cache_.PeekLru());
+    cache_.Insert(lpn, MappingEntry{copy.addr, /*dirty=*/true, mark_uip,
+                                    mark_uncertain});
+  }
+}
+
+void BaseFtl::RecoverDirtyEntries(RecoveryReport* report) {
+  uint64_t bound = config_.checkpoint_period > 0 ? config_.checkpoint_period
+                                                 : cache_.capacity();
+  BackwardScanRecoverEntries(bound, /*mark_uip=*/true,
+                             /*mark_uncertain=*/true,
+                             /*report_duplicates=*/true, report);
+}
+
+void BaseFtl::SweepDeadMetadataBlocks() {
+  if (config_.gc_policy != GcPolicy::kNeverCollectMetadata) return;
+  const Geometry& g = device_->geometry();
+  for (BlockId b = 0; b < g.num_blocks; ++b) {
+    PageType type = blocks_.BlockType(b);
+    if (type != PageType::kTranslation && type != PageType::kPvm) continue;
+    if (blocks_.IsActive(b) || blocks_.IsPinned(b)) continue;
+    if (blocks_.MetadataLivePages(b) != 0) continue;
+    if (device_->PagesWritten(b) == 0) continue;
+    EraseBlockForGc(b, type == PageType::kTranslation ? IoPurpose::kTranslation
+                                                      : IoPurpose::kPvm);
+  }
+}
+
+void BaseFtl::SyncAllDirty(RecoveryReport* report) {
+  RecoveryStep& step = report->Add("synchronize recovered entries");
+  IoCounters before = device_->stats().Snapshot();
+  std::vector<TPageId> tpages;
+  for (Lpn lpn : cache_.LruToMruOrder()) {
+    const MappingEntry* e = cache_.Peek(lpn);
+    if (e != nullptr && e->dirty) tpages.push_back(translation_.TPageOf(lpn));
+  }
+  std::sort(tpages.begin(), tpages.end());
+  tpages.erase(std::unique(tpages.begin(), tpages.end()), tpages.end());
+  for (TPageId t : tpages) SyncTranslationPage(t);
+  IoCounters delta = device_->stats().Snapshot() - before;
+  step.page_reads = delta.TotalReads();
+  step.page_writes = delta.TotalWrites();
+  step.spare_reads = delta.TotalSpareReads();
+}
+
+RecoveryReport BaseFtl::CrashAndRecover() {
+  OnPowerFailing();
+
+  // Power failure: all RAM-resident structures vanish.
+  cache_.Reset();
+  translation_.ResetRamState();
+  blocks_.ResetRamState();
+  std::fill(bvc_.begin(), bvc_.end(), 0u);
+  cache_ops_since_checkpoint_ = 0;
+  recovered_versions_.clear();
+
+  RecoveryReport report;
+  last_bid_ = BuildBid(&report);  // step 1
+  blocks_.RecoverFromBid(last_bid_);
+  RecoverGmdStep(&report);  // step 2
+
+  // Translation-block liveness: the pages the GMD references are live.
+  std::vector<PhysicalAddress> live_translation;
+  for (const auto& v : recovered_versions_) {
+    if (v.current.IsValid()) live_translation.push_back(v.current);
+  }
+  blocks_.RecoverMetadataLiveCounts(live_translation);
+
+  RecoverPvm(&report);           // steps 3-4 (store-specific)
+  RecoverBvc(&report);           // step 5
+  RecoverDirtyEntries(&report);  // steps 6-7
+  OnRecoveryComplete(&report);   // persist re-derived state
+  SweepDeadMetadataBlocks();     // step 8: dispose of leftovers, resume
+  last_recovery_seq_ = device_->CurrentSeq();
+  return report;
+}
+
+uint64_t BaseFtl::RamBytes() const {
+  // LRU cache: 8 bytes per entry (Section 5's assumption); GMD; BVC
+  // (2 bytes per block); plus the validity store's own footprint.
+  uint64_t cache_bytes = uint64_t{cache_.capacity()} * 8;
+  uint64_t bvc_bytes = uint64_t{device_->geometry().num_blocks} * 2;
+  uint64_t wear_bytes = wear_ != nullptr ? wear_->RamBytes() : 0;
+  return cache_bytes + translation_.GmdRamBytes() + bvc_bytes + wear_bytes +
+         PvmRamBytes();
+}
+
+}  // namespace gecko

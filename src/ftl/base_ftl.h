@@ -1,0 +1,202 @@
+// Shared machinery of all page-associative FTLs in this repository.
+//
+// BaseFtl implements the DFTL-style translation scheme the paper adopts
+// (Section 4): a flash-resident translation table with GMD, an LRU mapping
+// cache with synchronization operations, a BVC, garbage collection with
+// pluggable victim policy, checkpoints, dirty-entry caps, and power-failure
+// recovery helpers. Subclasses provide the page-validity store and the
+// store-specific recovery steps:
+//
+//   GeckoFtl  — Logarithmic Gecko, lazy UIP identification, metadata-aware
+//               GC, GeckoRec recovery (the paper's contribution).
+//   DftlFtl   — RAM PVB + battery.
+//   LazyFtl   — RAM PVB, dirty-entry cap, sync-before-resume recovery.
+//   MuFtl     — flash PVB + battery.
+//   IbFtl     — page-validity log, dirty-entry cap.
+
+#ifndef GECKOFTL_FTL_BASE_FTL_H_
+#define GECKOFTL_FTL_BASE_FTL_H_
+
+#include <memory>
+#include <vector>
+
+#include "flash/flash_device.h"
+#include "ftl/block_manager.h"
+#include "ftl/ftl.h"
+#include "ftl/ftl_config.h"
+#include "ftl/mapping_cache.h"
+#include "ftl/translation_table.h"
+#include "ftl/wear_leveler.h"
+#include "pvm/page_validity_store.h"
+
+namespace gecko {
+
+class BaseFtl : public Ftl {
+ public:
+  BaseFtl(FlashDevice* device, const FtlConfig& config);
+  ~BaseFtl() override = default;
+
+  Status Write(Lpn lpn, uint64_t payload) override;
+  Status Read(Lpn lpn, uint64_t* payload) override;
+  RecoveryReport CrashAndRecover() override;
+  uint64_t RamBytes() const override;
+  const FtlCounters& counters() const override { return counters_; }
+
+  FlashDevice& device() { return *device_; }
+  const FtlConfig& config() const { return config_; }
+  const MappingCache& cache() const { return cache_; }
+  BlockManager& block_manager() { return blocks_; }
+  TranslationTable& translation() { return translation_; }
+
+  /// Identified-invalid count of a user block (the BVC of Figure 7).
+  uint32_t InvalidCount(BlockId block) const { return bvc_[block]; }
+
+  /// Forces one GC collection cycle (tests/benchmarks).
+  void ForceGc() override {
+    if (in_gc_) return;
+    in_gc_ = true;
+    CollectOneBlock();
+    in_gc_ = false;
+  }
+
+ protected:
+  /// The page-validity store, owned by the subclass.
+  virtual PageValidityStore* pvm() = 0;
+
+  /// Store-specific RAM bytes beyond the common structures.
+  virtual uint64_t PvmRamBytes() const { return pvm_const()->RamBytes(); }
+  const PageValidityStore* pvm_const() const {
+    return const_cast<BaseFtl*>(this)->pvm();
+  }
+
+  // --- Hooks for subclass recovery and GC behaviour ---------------------
+
+  /// Called on power failure while "residual" power is available: battery
+  /// FTLs synchronize all dirty entries here (charged to kOther so WA
+  /// experiments are unaffected).
+  virtual void OnPowerFailing();
+
+  /// Wipes + rebuilds the page-validity store and, for GeckoFTL, the
+  /// Gecko buffer. Invoked between GMD recovery and BVC reconstruction.
+  virtual void RecoverPvm(RecoveryReport* report) = 0;
+
+  /// Rebuilds bvc_ once the store is recovered.
+  virtual void RecoverBvc(RecoveryReport* report) = 0;
+
+  /// Recovers dirty cached mapping entries (GeckoRec steps 6-7 or the
+  /// baselines' scan-and-sync).
+  virtual void RecoverDirtyEntries(RecoveryReport* report);
+
+  /// Called once recovery is complete, before normal operation resumes.
+  /// GeckoFTL persists the buffer content recovery re-derived (erase
+  /// records, re-identified invalidations): without this, a second power
+  /// failure before the next natural flush would lose that knowledge
+  /// again, and the re-derivation conditions would no longer hold
+  /// (DESIGN.md §3, repeated-crash idempotency).
+  virtual void OnRecoveryComplete(RecoveryReport* report) { (void)report; }
+
+  /// Migrates one live page of a PVM metadata block during greedy GC.
+  /// Baselines with flash-resident validity stores override this.
+  virtual void MigratePvmPage(PhysicalAddress addr);
+
+  /// Subclass hook invoked after a translation page is replaced; GeckoFTL
+  /// pins the block holding the previous version (Appendix C.2.2).
+  virtual void OnTranslationPageReplaced(TPageId tpage,
+                                         PhysicalAddress old_addr);
+
+  // --- Shared internals (used by subclasses) ----------------------------
+
+  /// Reports a user-page invalidation to the store and the BVC.
+  void ReportInvalid(PhysicalAddress addr);
+
+#ifdef GECKO_DEBUG_GC_GROUND_TRUTH
+  /// Debug-only: aborts if `addr` is the authoritative location of the
+  /// logical page it holds (a report for it would destroy live data).
+  void DebugCheckNotAuthoritative(PhysicalAddress addr, const char* tag);
+#endif
+
+  /// Synchronization operation (Section 4): flushes every dirty cached
+  /// entry of `tpage` into a new version of that translation page,
+  /// resolving UIP/uncertain flags per Section 4.1 / Appendix C.3.
+  void SyncTranslationPage(TPageId tpage);
+
+  /// Evicts the LRU entry, synchronizing first if dirty.
+  void EvictOne();
+
+  /// Runs GC until the free pool is back above the threshold.
+  void EnsureFreeSpace();
+  void CollectOneBlock();
+  void CollectUserBlock(BlockId victim);
+  void CollectMetadataBlock(BlockId victim);
+  BlockId SelectVictim();
+
+  /// Erases `block` through the device, dropping stale translation images
+  /// first, and returns it to the free pool.
+  void EraseBlockForGc(BlockId block, IoPurpose purpose);
+
+  /// Inserts (or updates) a cache entry for a freshly written/migrated
+  /// page, evicting as needed. `uip` follows Section 4.1's rules.
+  void UpsertCacheEntry(Lpn lpn, PhysicalAddress ppa, bool uip);
+
+  /// Counts a cache insert-or-update and takes a checkpoint when the
+  /// period elapses (Section 4.3).
+  void NoteCacheOp();
+  void TakeCheckpoint();
+  void EnforceDirtyCap();
+
+  /// Common recovery steps.
+  std::vector<BlockManager::BidEntry> BuildBid(RecoveryReport* report);
+  void RecoverGmdStep(RecoveryReport* report);
+  /// Backward spare-area scan over user blocks (newest first): recreates
+  /// up to C mapping entries, bounded by 2*`scan_bound` spare reads.
+  /// When `report_duplicates` is set, older versions of already-seen lpns
+  /// are reported invalid (DESIGN.md deviation 2). Entries are inserted
+  /// dirty, with the uip/uncertain flags as requested (GeckoRec sets both;
+  /// baselines without a UIP concept set neither).
+  void BackwardScanRecoverEntries(uint64_t scan_bound, bool mark_uip,
+                                  bool mark_uncertain, bool report_duplicates,
+                                  RecoveryReport* report);
+
+  /// Erases fully-dead, non-active metadata blocks left over after
+  /// recovery (only under the auto-erase metadata policy).
+  void SweepDeadMetadataBlocks();
+  /// Synchronizes every dirty entry now (LazyFTL/IB-FTL recovery tail).
+  void SyncAllDirty(RecoveryReport* report);
+
+  FlashDevice* device_;
+  FtlConfig config_;
+  BlockManager blocks_;
+  TranslationTable translation_;
+  MappingCache cache_;
+  std::unique_ptr<WearLeveler> wear_;
+  /// BVC: identified-invalid pages per block (user blocks only).
+  std::vector<uint32_t> bvc_;
+  /// While a user block is being collected, invalidation reports can still
+  /// arrive for it (synchronizations triggered by migration-driven cache
+  /// evictions identify before-images lazily). The GC query's bitmap was
+  /// snapshotted at collection start, so fresh reports for the victim are
+  /// mirrored here and consulted before migrating each page.
+  BlockId gc_victim_ = kInvalidU32;
+  Bitmap gc_victim_fresh_invalid_;
+  /// Device sequence at the end of the last power-failure recovery. Pages
+  /// written before this point may carry invalidations whose buffered
+  /// reports died with the crash and evaded every re-derivation path
+  /// (e.g. intermediate before-images outside the backward-scan window);
+  /// GC validates such pages against the translation table before
+  /// migrating them. Pages written after it are exactly tracked, so
+  /// crash-free operation pays nothing (DESIGN.md §3).
+  uint64_t last_recovery_seq_ = 0;
+  FtlCounters counters_;
+  uint64_t cache_ops_since_checkpoint_ = 0;
+  bool in_gc_ = false;  // guards re-entrant GC
+  /// Saved translation-page versions from the last RecoverGmd call, used
+  /// by GeckoFTL's buffer recovery diffing.
+  std::vector<TranslationTable::TPageVersions> recovered_versions_;
+  /// Saved Blocks Information Directory from the current recovery pass
+  /// (block type + first-write seq), used by store-specific steps.
+  std::vector<BlockManager::BidEntry> last_bid_;
+};
+
+}  // namespace gecko
+
+#endif  // GECKOFTL_FTL_BASE_FTL_H_

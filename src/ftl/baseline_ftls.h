@@ -1,0 +1,113 @@
+// The four state-of-the-art FTLs GeckoFTL is compared against in
+// Section 5.3: DFTL, LazyFTL, µ-FTL, and IB-FTL.
+//
+// All four share BaseFtl's translation machinery and differ in (1) how
+// they store page-validity metadata and (2) how they recover dirty cached
+// mapping entries:
+//
+//            validity metadata     dirty-entry recovery
+//   DFTL     RAM PVB               battery
+//   LazyFTL  RAM PVB               dirty cap (10% C) + sync-before-resume
+//   µ-FTL    flash PVB             battery
+//   IB-FTL   page-validity log     dirty cap (10% C) + sync-before-resume
+//
+// All baselines identify invalid pages immediately (a write miss reads the
+// translation page to find the before-image), use greedy GC over all
+// blocks including metadata, and — for µ-FTL/IB-FTL — model the B-tree
+// translation table with a page table whose RAM model differs only in the
+// GMD term (see DESIGN.md §3).
+
+#ifndef GECKOFTL_FTL_BASELINE_FTLS_H_
+#define GECKOFTL_FTL_BASELINE_FTLS_H_
+
+#include <memory>
+
+#include "ftl/base_ftl.h"
+#include "pvm/flash_pvb.h"
+#include "pvm/pvl.h"
+#include "pvm/ram_pvb.h"
+
+namespace gecko {
+
+/// DFTL [22]: RAM-resident PVB, battery-backed recovery.
+class DftlFtl : public BaseFtl {
+ public:
+  DftlFtl(FlashDevice* device, const FtlConfig& config);
+  const char* Name() const override { return "DFTL"; }
+  static FtlConfig DefaultConfig(uint32_t cache_capacity);
+
+ protected:
+  PageValidityStore* pvm() override { return store_.get(); }
+  void RecoverPvm(RecoveryReport* report) override;
+  void RecoverBvc(RecoveryReport* report) override;
+  void RecoverDirtyEntries(RecoveryReport* report) override;
+
+  std::unique_ptr<RamPvb> store_;
+};
+
+/// LazyFTL [26]: RAM-resident PVB, no battery; dirty entries capped at 10%
+/// of the cache and synchronized before normal operation resumes.
+class LazyFtl : public BaseFtl {
+ public:
+  LazyFtl(FlashDevice* device, const FtlConfig& config);
+  const char* Name() const override { return "LazyFTL"; }
+  static FtlConfig DefaultConfig(uint32_t cache_capacity);
+
+ protected:
+  PageValidityStore* pvm() override { return store_.get(); }
+  void RecoverPvm(RecoveryReport* report) override;
+  void RecoverBvc(RecoveryReport* report) override;
+  void RecoverDirtyEntries(RecoveryReport* report) override;
+
+ private:
+  /// Rebuilds the RAM PVB by scanning every translation page: written
+  /// pages not referenced by the table (or cache) are invalid.
+  void RebuildPvbFromTranslationTable(RecoveryReport* report);
+
+  std::unique_ptr<RamPvb> store_;
+};
+
+/// µ-FTL [24]: flash-resident PVB, battery-backed dirty-entry recovery.
+class MuFtl : public BaseFtl {
+ public:
+  MuFtl(FlashDevice* device, const FtlConfig& config);
+  const char* Name() const override { return "uFTL"; }
+  static FtlConfig DefaultConfig(uint32_t cache_capacity);
+
+ protected:
+  PageValidityStore* pvm() override { return store_.get(); }
+  void RecoverPvm(RecoveryReport* report) override;
+  void RecoverBvc(RecoveryReport* report) override;
+  void RecoverDirtyEntries(RecoveryReport* report) override;
+  void MigratePvmPage(PhysicalAddress addr) override;
+  /// µ-FTL's B-tree keeps only the root resident: the GMD term is dropped
+  /// from the RAM model (DESIGN.md §3).
+  uint64_t PvmRamBytes() const override;
+
+ private:
+  std::unique_ptr<FlashPvb> store_;
+};
+
+/// IB-FTL [18]: flash-resident page-validity log with RAM chain heads;
+/// dirty entries capped and synchronized before normal operation resumes.
+class IbFtl : public BaseFtl {
+ public:
+  IbFtl(FlashDevice* device, const FtlConfig& config);
+  const char* Name() const override { return "IB-FTL"; }
+  static FtlConfig DefaultConfig(uint32_t cache_capacity);
+  PageValidityLog& pvl() { return *store_; }
+
+ protected:
+  PageValidityStore* pvm() override { return store_.get(); }
+  void RecoverPvm(RecoveryReport* report) override;
+  void RecoverBvc(RecoveryReport* report) override;
+  void RecoverDirtyEntries(RecoveryReport* report) override;
+  void MigratePvmPage(PhysicalAddress addr) override;
+
+ private:
+  std::unique_ptr<PageValidityLog> store_;
+};
+
+}  // namespace gecko
+
+#endif  // GECKOFTL_FTL_BASELINE_FTLS_H_

@@ -1,0 +1,175 @@
+#include "ftl/block_manager.h"
+
+#include <algorithm>
+
+namespace gecko {
+
+BlockManager::BlockManager(FlashDevice* device, bool auto_erase_metadata)
+    : device_(device),
+      auto_erase_metadata_(auto_erase_metadata),
+      block_type_(device->geometry().num_blocks, PageType::kFree),
+      meta_live_(device->geometry().num_blocks, 0) {
+  for (BlockId b = 0; b < device->geometry().num_blocks; ++b) {
+    free_blocks_.push_back(b);
+  }
+}
+
+PhysicalAddress* BlockManager::ActiveFor(PageType type) {
+  switch (type) {
+    case PageType::kUser: return &active_user_;
+    case PageType::kTranslation: return &active_translation_;
+    case PageType::kPvm: return &active_pvm_;
+    case PageType::kFree: break;
+  }
+  GECKO_CHECK(false) << "no active block for type " << PageTypeName(type);
+  return nullptr;
+}
+
+PhysicalAddress BlockManager::AllocatePage(PageType type) {
+  PhysicalAddress* active = ActiveFor(type);
+  const uint32_t pages_per_block = device_->geometry().pages_per_block;
+  if (!active->IsValid() || active->page >= pages_per_block) {
+    GECKO_CHECK(!free_blocks_.empty())
+        << "device out of free blocks (type " << PageTypeName(type)
+        << "); GC must run before allocation";
+    BlockId block = free_blocks_.front();
+    free_blocks_.pop_front();
+#ifdef GECKO_DEBUG_GC_GROUND_TRUTH
+    GECKO_CHECK(block_type_[block] == PageType::kFree)
+        << "allocating non-free block " << block << " (type "
+        << PageTypeName(block_type_[block]) << ") as "
+        << PageTypeName(type);
+    GECKO_CHECK_EQ(device_->PagesWritten(block), 0u)
+        << "allocating block " << block << " with written pages";
+#endif
+    block_type_[block] = type;
+    *active = PhysicalAddress{block, 0};
+  }
+  PhysicalAddress out = *active;
+  ++active->page;
+  if (type != PageType::kUser) {
+    ++meta_live_[out.block];
+  }
+  return out;
+}
+
+void BlockManager::OnMetadataPageInvalidated(PhysicalAddress addr) {
+  GECKO_CHECK(block_type_[addr.block] == PageType::kTranslation ||
+              block_type_[addr.block] == PageType::kPvm)
+      << "metadata invalidation on non-metadata block " << addr.ToString();
+  GECKO_CHECK_GT(meta_live_[addr.block], 0u);
+  --meta_live_[addr.block];
+  if (auto_erase_metadata_) MaybeEraseMetadataBlock(addr.block);
+}
+
+IoPurpose BlockManager::ErasePurposeFor(PageType type) const {
+  return type == PageType::kTranslation ? IoPurpose::kTranslation
+                                        : IoPurpose::kPvm;
+}
+
+void BlockManager::MaybeEraseMetadataBlock(BlockId block) {
+  // Section 4.2: metadata blocks are never GC victims; they are erased for
+  // free once every page is invalid. The active block and pinned blocks
+  // (holding previous translation-page versions, Appendix C.2.2) wait.
+  if (meta_live_[block] != 0) return;
+  if (IsActive(block) || IsPinned(block)) return;
+  if (device_->PagesWritten(block) == 0) return;
+  device_->EraseBlock(block, ErasePurposeFor(block_type_[block]));
+  ++metadata_blocks_erased_;
+  OnBlockErased(block);
+}
+
+bool BlockManager::IsActive(BlockId block) const {
+  return (active_user_.IsValid() && active_user_.block == block) ||
+         (active_translation_.IsValid() &&
+          active_translation_.block == block) ||
+         (active_pvm_.IsValid() && active_pvm_.block == block);
+}
+
+void BlockManager::Pin(BlockId block, uint64_t seq) {
+  auto it = pinned_.find(block);
+  if (it == pinned_.end() || it->second < seq) pinned_[block] = seq;
+}
+
+void BlockManager::UnpinThrough(uint64_t seq) {
+  for (auto it = pinned_.begin(); it != pinned_.end();) {
+    if (it->second <= seq) {
+      BlockId block = it->first;
+      it = pinned_.erase(it);
+      // The pin may have been the only thing delaying an erase.
+      if (auto_erase_metadata_ && block_type_[block] != PageType::kUser &&
+          block_type_[block] != PageType::kFree) {
+        MaybeEraseMetadataBlock(block);
+      }
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BlockManager::OnBlockErased(BlockId block) {
+  block_type_[block] = PageType::kFree;
+  meta_live_[block] = 0;
+  free_blocks_.push_back(block);
+}
+
+std::vector<BlockId> BlockManager::BlocksOfType(PageType type) const {
+  std::vector<BlockId> out;
+  for (BlockId b = 0; b < block_type_.size(); ++b) {
+    if (block_type_[b] == type) out.push_back(b);
+  }
+  return out;
+}
+
+void BlockManager::ResetRamState() {
+  std::fill(block_type_.begin(), block_type_.end(), PageType::kFree);
+  std::fill(meta_live_.begin(), meta_live_.end(), 0u);
+  free_blocks_.clear();
+  active_user_ = active_translation_ = active_pvm_ = kNullAddress;
+  pinned_.clear();
+}
+
+void BlockManager::RecoverFromBid(const std::vector<BidEntry>& bid) {
+  GECKO_CHECK_EQ(bid.size(), block_type_.size());
+  struct Partial {
+    BlockId block = kInvalidU32;
+    uint64_t first_seq = 0;
+  };
+  Partial partial_of[4];
+  for (BlockId b = 0; b < bid.size(); ++b) {
+    const BidEntry& e = bid[b];
+    block_type_[b] = e.type;
+    if (e.type == PageType::kFree) {
+      free_blocks_.push_back(b);
+      continue;
+    }
+    if (e.pages_written < device_->geometry().pages_per_block) {
+      // At most one partial block per group exists (the crash-time
+      // active); keep the newest in case an abandoned partial lingers
+      // from a previous crash.
+      Partial& p = partial_of[static_cast<int>(e.type)];
+      if (p.block == kInvalidU32 || e.first_seq > p.first_seq) {
+        p = Partial{b, e.first_seq};
+      }
+    }
+  }
+  for (PageType type :
+       {PageType::kUser, PageType::kTranslation, PageType::kPvm}) {
+    const Partial& p = partial_of[static_cast<int>(type)];
+    if (p.block != kInvalidU32) {
+      *ActiveFor(type) =
+          PhysicalAddress{p.block, device_->PagesWritten(p.block)};
+    }
+  }
+}
+
+void BlockManager::RecoverMetadataLiveCounts(
+    const std::vector<PhysicalAddress>& live) {
+  for (const PhysicalAddress& addr : live) {
+    GECKO_CHECK(block_type_[addr.block] == PageType::kTranslation ||
+                block_type_[addr.block] == PageType::kPvm);
+    ++meta_live_[addr.block];
+  }
+}
+
+}  // namespace gecko

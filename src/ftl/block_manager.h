@@ -1,0 +1,107 @@
+// Block lifecycle management (Figure 8 of the paper).
+//
+// Flash blocks are grouped by content type — user data, translation pages,
+// and page-validity metadata — with one active append block per group.
+// When an active block fills up, a new one is taken from the free pool.
+//
+// The manager also tracks per-metadata-block live-page counts so that
+// GeckoFTL's policy (Section 4.2) can erase a metadata block the moment
+// its last page becomes invalid, and a pin set that protects blocks
+// holding previous translation-page versions needed by buffer recovery
+// (Appendix C.2.2).
+
+#ifndef GECKOFTL_FTL_BLOCK_MANAGER_H_
+#define GECKOFTL_FTL_BLOCK_MANAGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "flash/flash_device.h"
+#include "flash/page_allocator.h"
+
+namespace gecko {
+
+class BlockManager : public PageAllocator {
+ public:
+  /// `auto_erase_metadata` enables the Section 4.2 policy of erasing
+  /// fully-invalid metadata blocks immediately (GeckoFTL). Greedy
+  /// baselines leave them to the regular GC victim selection.
+  BlockManager(FlashDevice* device, bool auto_erase_metadata);
+
+  // --- PageAllocator ----------------------------------------------------
+  PhysicalAddress AllocatePage(PageType type) override;
+  void OnMetadataPageInvalidated(PhysicalAddress addr) override;
+
+  // --- Block bookkeeping -------------------------------------------------
+
+  PageType BlockType(BlockId block) const { return block_type_[block]; }
+  bool IsActive(BlockId block) const;
+  bool IsPinned(BlockId block) const { return pinned_.count(block) > 0; }
+  uint32_t NumFreeBlocks() const {
+    return static_cast<uint32_t>(free_blocks_.size());
+  }
+  uint32_t MetadataLivePages(BlockId block) const {
+    return meta_live_[block];
+  }
+
+  /// Pins `block` against erasure until UnpinThrough releases it. Pins
+  /// carry the device sequence at pin time; see Appendix C.2.2.
+  void Pin(BlockId block, uint64_t seq);
+  uint32_t NumPinned() const { return static_cast<uint32_t>(pinned_.size()); }
+  /// Releases every pin taken at sequence <= `seq` (called once the Gecko
+  /// buffer has flushed past that point).
+  void UnpinThrough(uint64_t seq);
+
+  /// Returns the erased `block` to the free pool (after GC).
+  void OnBlockErased(BlockId block);
+
+  /// All non-free blocks of a given type (victim-selection candidates and
+  /// recovery scan lists).
+  std::vector<BlockId> BlocksOfType(PageType type) const;
+
+  uint64_t metadata_blocks_erased() const { return metadata_blocks_erased_; }
+
+  // --- Power-failure recovery -------------------------------------------
+
+  /// Drops all volatile state.
+  void ResetRamState();
+
+  /// Step 1 of GeckoRec: rebuilds block types, the free pool, and active
+  /// blocks from the Blocks Information Directory assembled by the FTL
+  /// (block type + first-write seq per block, from one spare read each).
+  /// Partially-written blocks resume as the active block of their group
+  /// (there is at most one per group: actives only retire when full).
+  struct BidEntry {
+    PageType type = PageType::kFree;
+    uint64_t first_seq = 0;
+    uint32_t pages_written = 0;
+  };
+  void RecoverFromBid(const std::vector<BidEntry>& bid);
+
+  /// Restores metadata live counts from the set of live metadata pages
+  /// (GMD targets, pinned previous versions, and live run/log/PVB pages).
+  void RecoverMetadataLiveCounts(const std::vector<PhysicalAddress>& live);
+
+ private:
+  PhysicalAddress* ActiveFor(PageType type);
+  void MaybeEraseMetadataBlock(BlockId block);
+  IoPurpose ErasePurposeFor(PageType type) const;
+
+  FlashDevice* device_;
+  bool auto_erase_metadata_;
+  std::vector<PageType> block_type_;
+  std::vector<uint32_t> meta_live_;
+  std::deque<BlockId> free_blocks_;
+  PhysicalAddress active_user_ = kNullAddress;
+  PhysicalAddress active_translation_ = kNullAddress;
+  PhysicalAddress active_pvm_ = kNullAddress;
+  std::map<BlockId, uint64_t> pinned_;  // block -> pin sequence
+  uint64_t metadata_blocks_erased_ = 0;
+};
+
+}  // namespace gecko
+
+#endif  // GECKOFTL_FTL_BLOCK_MANAGER_H_

@@ -1,0 +1,57 @@
+// Abstract interface of a flash translation layer, plus per-FTL counters.
+
+#ifndef GECKOFTL_FTL_FTL_H_
+#define GECKOFTL_FTL_FTL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "flash/types.h"
+#include "ftl/recovery_report.h"
+#include "util/status.h"
+
+namespace gecko {
+
+/// Operation counters maintained by the FTL (flash IO is counted by the
+/// device's IoStats; these track logical events).
+struct FtlCounters {
+  uint64_t writes = 0;
+  uint64_t reads = 0;
+  uint64_t sync_ops = 0;
+  uint64_t aborted_sync_ops = 0;  // all-clean syncs skipped (Appendix C.3.1)
+  uint64_t checkpoints = 0;
+  uint64_t gc_collections = 0;
+  uint64_t gc_migrations = 0;
+  uint64_t uip_detections = 0;    // invalid pages caught by the GC UIP check
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+};
+
+/// Block-device-like interface every FTL implements.
+class Ftl {
+ public:
+  virtual ~Ftl() = default;
+
+  /// Writes `payload` to logical page `lpn` (out of place).
+  virtual Status Write(Lpn lpn, uint64_t payload) = 0;
+
+  /// Reads logical page `lpn` into `*payload`.
+  virtual Status Read(Lpn lpn, uint64_t* payload) = 0;
+
+  /// Simulates a power failure (all RAM-resident state is lost) followed
+  /// by the FTL's recovery algorithm. Returns the per-step cost report.
+  virtual RecoveryReport CrashAndRecover() = 0;
+
+  /// Integrated-RAM footprint of all RAM-resident structures, in bytes.
+  virtual uint64_t RamBytes() const = 0;
+
+  /// Forces one garbage-collection cycle (tests and benchmarks).
+  virtual void ForceGc() = 0;
+
+  virtual const FtlCounters& counters() const = 0;
+  virtual const char* Name() const = 0;
+};
+
+}  // namespace gecko
+
+#endif  // GECKOFTL_FTL_FTL_H_

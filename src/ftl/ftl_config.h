@@ -1,0 +1,90 @@
+// Configuration shared by all five FTL implementations.
+
+#ifndef GECKOFTL_FTL_FTL_CONFIG_H_
+#define GECKOFTL_FTL_FTL_CONFIG_H_
+
+#include <cstdint>
+
+#include "core/gecko_config.h"
+#include "flash/geometry.h"
+
+namespace gecko {
+
+/// Garbage-collection victim-selection policy (Section 4.2).
+enum class GcPolicy : uint8_t {
+  /// Classic greedy: any block (including metadata blocks) with the fewest
+  /// valid pages may be chosen; valid metadata pages are migrated.
+  kGreedyAll,
+  /// GeckoFTL's policy: never target translation/PVM blocks; erase them
+  /// only once every page is invalid (frequently-updated metadata
+  /// invalidates itself soon anyway).
+  kNeverCollectMetadata,
+};
+
+/// How the FTL learns the address of the before-image a write invalidates.
+enum class InvalidationMode : uint8_t {
+  /// Baselines: on a write miss, read the translation page to find the
+  /// before-image and report it immediately.
+  kImmediate,
+  /// GeckoFTL: set the UIP flag and identify the before-image lazily
+  /// during synchronization operations and GC (Section 4.1).
+  kLazyUip,
+};
+
+struct FtlConfig {
+  /// C: capacity of the LRU mapping cache, in entries.
+  uint32_t cache_capacity = 2048;
+
+  /// Maximum number of dirty entries allowed in the cache, as a fraction
+  /// of cache_capacity. 0 disables the cap. LazyFTL/IB-FTL use 0.1
+  /// (Section 5.3); GeckoFTL and battery-backed FTLs are uncapped.
+  double dirty_fraction_cap = 0.0;
+
+  /// Runtime checkpoints: a checkpoint is taken every `checkpoint_period`
+  /// inserts/updates to the cache (Section 4.3). 0 disables. GeckoFTL
+  /// uses cache_capacity; baselines without batteries use their dirty cap
+  /// (emulating LazyFTL's update-block bookkeeping; see DESIGN.md §3).
+  uint32_t checkpoint_period = 0;
+
+  /// Whether a battery persists dirty entries (and a RAM PVB) at failure.
+  bool battery = false;
+
+  GcPolicy gc_policy = GcPolicy::kNeverCollectMetadata;
+  InvalidationMode invalidation = InvalidationMode::kLazyUip;
+
+  /// GC starts when the free-block pool drops below this many blocks.
+  uint32_t gc_free_block_threshold = 5;
+
+  /// Whether GC validates not-in-cache victim pages against the flash
+  /// translation table (needed by IB-FTL, whose log buffer can lose
+  /// records across power failure; see DESIGN.md §3).
+  bool gc_validate_against_translation_table = false;
+
+  /// Wear-leveling (Appendix D). Off by default in experiments, matching
+  /// the paper's evaluation focus.
+  bool wear_leveling = false;
+  /// Erase-count gap versus the device average that makes a block a
+  /// static-wear-leveling victim.
+  uint32_t wear_gap_threshold = 8;
+
+  /// Bound on blocks pinned for translation-diff recovery (GeckoFTL,
+  /// Appendix C.2.2). Every synchronization pins the block holding the
+  /// replaced translation-page version until the Gecko buffer flushes past
+  /// it; under report-poor workloads syncs can outrun flushes, so when the
+  /// pin set exceeds this bound the buffer is flushed early (one page
+  /// write) to advance the durable horizon and release the pins.
+  uint32_t max_pinned_metadata_blocks = 4;
+
+  /// Logarithmic Gecko tuning (GeckoFTL only).
+  LogGeckoConfig gecko;
+
+  uint32_t DirtyCap() const {
+    if (dirty_fraction_cap <= 0.0) return 0;
+    uint32_t cap = static_cast<uint32_t>(cache_capacity * dirty_fraction_cap);
+    return cap < 1 ? 1 : cap;
+  }
+};
+
+}  // namespace gecko
+
+#endif  // GECKOFTL_FTL_FTL_CONFIG_H_

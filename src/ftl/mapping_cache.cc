@@ -1,0 +1,100 @@
+#include "ftl/mapping_cache.h"
+
+#include <algorithm>
+
+namespace gecko {
+
+MappingEntry* MappingCache::Find(Lpn lpn) {
+  auto it = entries_.find(lpn);
+  if (it == entries_.end()) return nullptr;
+  Touch(it);
+  return &it->second.entry;
+}
+
+const MappingEntry* MappingCache::Peek(Lpn lpn) const {
+  auto it = entries_.find(lpn);
+  return it == entries_.end() ? nullptr : &it->second.entry;
+}
+
+void MappingCache::Touch(std::map<Lpn, Node>::iterator it) {
+  lru_.splice(lru_.end(), lru_, it->second.lru_it);
+}
+
+MappingEntry* MappingCache::Insert(Lpn lpn, const MappingEntry& entry) {
+  GECKO_CHECK(entries_.find(lpn) == entries_.end())
+      << "lpn " << lpn << " already cached";
+  GECKO_CHECK(!NeedsEviction()) << "insert without prior eviction";
+  lru_.push_back(lpn);
+  auto lru_it = std::prev(lru_.end());
+  auto [it, inserted] = entries_.emplace(lpn, Node{entry, lru_it});
+  GECKO_CHECK(inserted);
+  if (entry.dirty) {
+    ++dirty_count_;
+    it->second.entry.dirty_epoch = epoch_;
+  }
+  return &it->second.entry;
+}
+
+Lpn MappingCache::PeekLru() const {
+  GECKO_CHECK(!lru_.empty()) << "PeekLru on empty cache";
+  return lru_.front();
+}
+
+void MappingCache::Erase(Lpn lpn) {
+  auto it = entries_.find(lpn);
+  GECKO_CHECK(it != entries_.end());
+  if (it->second.entry.dirty) {
+    GECKO_CHECK_GT(dirty_count_, 0u);
+    --dirty_count_;
+  }
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+std::vector<Lpn> MappingCache::DirtyInRange(Lpn lo, Lpn hi) const {
+  std::vector<Lpn> out;
+  for (auto it = entries_.lower_bound(lo);
+       it != entries_.end() && it->first <= hi; ++it) {
+    if (it->second.entry.dirty) out.push_back(it->first);
+  }
+  return out;
+}
+
+bool MappingCache::OldestDirty(Lpn* out) const {
+  for (Lpn lpn : lru_) {
+    auto it = entries_.find(lpn);
+    GECKO_CHECK(it != entries_.end());
+    if (it->second.entry.dirty) {
+      *out = lpn;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Lpn> MappingCache::TakeCheckpoint() {
+  // Entries dirtied before the current epoch began have gone a full
+  // checkpoint period without an update: synchronize them now so the
+  // recovery backward scan stays bounded (Section 4.3).
+  std::vector<Lpn> stale;
+  for (const auto& [lpn, node] : entries_) {
+    if (node.entry.dirty && node.entry.dirty_epoch < epoch_) {
+      stale.push_back(lpn);
+    }
+  }
+  ++epoch_;
+  return stale;
+}
+
+void MappingCache::Reset() {
+  entries_.clear();
+  lru_.clear();
+  dirty_count_ = 0;
+  epoch_ = 1;
+}
+
+std::vector<Lpn> MappingCache::LruToMruOrder() const {
+  return std::vector<Lpn>(lru_.begin(), lru_.end());
+}
+
+}  // namespace gecko

@@ -1,0 +1,139 @@
+// LRU cache of mapping entries (Figure 7 of the paper).
+//
+// Holds the recently-used part of the logical-to-physical translation
+// table in integrated RAM. Entries carry three flags:
+//   dirty     — newer than the flash-resident translation table;
+//   uip       — an Unidentified Invalid Page exists: some flash page holds
+//               a before-image of this logical page that has not yet been
+//               reported to the page-validity store (Section 4.1);
+//   uncertain — the entry was recreated during recovery and its dirty/uip
+//               flags are assumed-true until a synchronization operation
+//               verifies them (Appendix C.3).
+//
+// The cache is a tree (std::map) so synchronization operations can range-
+// scan all entries belonging to one translation page (footnote 6). An
+// intrusive LRU list orders entries by recency and can carry checkpoint
+// symbols (Section 4.3): dummy nodes marking where a checkpoint happened.
+
+#ifndef GECKOFTL_FTL_MAPPING_CACHE_H_
+#define GECKOFTL_FTL_MAPPING_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "flash/types.h"
+#include "util/check.h"
+
+namespace gecko {
+
+/// One cached mapping entry.
+struct MappingEntry {
+  PhysicalAddress ppa;
+  bool dirty = false;
+  bool uip = false;
+  bool uncertain = false;
+  /// Checkpoint epoch in which the entry was last dirtied (maintained by
+  /// MappingCache::MarkDirty). Checkpoints synchronize entries dirtied
+  /// before the previous checkpoint.
+  uint64_t dirty_epoch = 0;
+};
+
+class MappingCache {
+ public:
+  explicit MappingCache(uint32_t capacity) : capacity_(capacity) {
+    GECKO_CHECK_GT(capacity, 0u);
+  }
+
+  /// Looks up `lpn` and refreshes its recency. Returns nullptr on miss.
+  MappingEntry* Find(Lpn lpn);
+
+  /// Looks up without touching recency (used by GC's UIP check, which
+  /// inspects the cache rather than using it).
+  const MappingEntry* Peek(Lpn lpn) const;
+
+  /// Inserts a new entry at MRU. The caller must have made room first
+  /// (while NeedsEviction(): evict). Aborts if `lpn` is already present.
+  MappingEntry* Insert(Lpn lpn, const MappingEntry& entry);
+
+  bool NeedsEviction() const { return entries_.size() >= capacity_; }
+
+  /// Returns the least-recently-used lpn without removing it.
+  Lpn PeekLru() const;
+
+  /// Removes `lpn` from the cache.
+  void Erase(Lpn lpn);
+
+  /// Dirty entries whose lpn lies in [lo, hi] — the entries one
+  /// synchronization operation flushes together.
+  std::vector<Lpn> DirtyInRange(Lpn lo, Lpn hi) const;
+
+  /// Oldest dirty entry in LRU order (for the dirty-entry cap of LazyFTL
+  /// and IB-FTL). Returns false if there are no dirty entries.
+  bool OldestDirty(Lpn* out) const;
+
+  /// Takes a checkpoint (Section 4.3): returns the dirty lpns whose last
+  /// *update* predates the previous checkpoint, which the caller must
+  /// synchronize, and advances the checkpoint epoch.
+  ///
+  /// The paper describes this as a backward walk of the LRU queue between
+  /// two checkpoint symbols. That formulation bounds staleness by *use*
+  /// recency, which is only equivalent when every cache touch is an
+  /// update; under mixed read/write workloads a frequently-read dirty
+  /// entry would stay in front of the symbol forever and never be
+  /// synchronized, breaking the 2-checkpoint recovery-scan bound
+  /// (DESIGN.md §3). Tracking the dirtying epoch per entry restores the
+  /// guarantee with the same O(C)-per-checkpoint cost.
+  std::vector<Lpn> TakeCheckpoint();
+
+  /// Marks an entry dirty, stamping the current checkpoint epoch. All
+  /// dirtying must go through here (or Insert with dirty=true).
+  void MarkDirty(MappingEntry* entry) {
+    if (!entry->dirty) {
+      entry->dirty = true;
+      ++dirty_count_;
+    }
+    entry->dirty_epoch = epoch_;
+  }
+
+  uint64_t epoch() const { return epoch_; }
+
+  uint32_t size() const { return static_cast<uint32_t>(entries_.size()); }
+  uint32_t capacity() const { return capacity_; }
+  uint32_t dirty_count() const { return dirty_count_; }
+
+  /// Bumps down the dirty counter; callers invoke this when clearing an
+  /// entry's dirty flag (dirtying goes through MarkDirty).
+  void NoteCleaned() {
+    GECKO_CHECK_GT(dirty_count_, 0u);
+    --dirty_count_;
+  }
+
+  /// Drops everything (power failure).
+  void Reset();
+
+  /// All lpns currently cached, in LRU-to-MRU order (used by battery-
+  /// backed shutdown sync and by tests).
+  std::vector<Lpn> LruToMruOrder() const;
+
+ private:
+  using LruList = std::list<Lpn>;
+
+  struct Node {
+    MappingEntry entry;
+    LruList::iterator lru_it;
+  };
+
+  void Touch(std::map<Lpn, Node>::iterator it);
+
+  uint32_t capacity_;
+  std::map<Lpn, Node> entries_;
+  LruList lru_;  // front = LRU, back = MRU
+  uint32_t dirty_count_ = 0;
+  uint64_t epoch_ = 1;
+};
+
+}  // namespace gecko
+
+#endif  // GECKOFTL_FTL_MAPPING_CACHE_H_

@@ -1,0 +1,90 @@
+// Wear-leveling (Appendix D of the paper).
+//
+// GeckoFTL keeps only a few bytes of global statistics in integrated RAM
+// (min/max/average erase count, a global erase counter) and discovers
+// wear-leveling victims through a gradual scan: for every flash write, the
+// spare area of the next block in a round-robin scan is read (spare reads
+// are ~3 orders of magnitude cheaper than writes, so the scan is nearly
+// free). A block whose erase count lags the device average by more than a
+// configured gap while holding old (static) data becomes a victim: its
+// live pages are migrated so the unworn block returns to the free pool and
+// starts absorbing writes.
+
+#ifndef GECKOFTL_FTL_WEAR_LEVELER_H_
+#define GECKOFTL_FTL_WEAR_LEVELER_H_
+
+#include <cstdint>
+
+#include "flash/flash_device.h"
+#include "flash/types.h"
+
+namespace gecko {
+
+class WearLeveler {
+ public:
+  WearLeveler(FlashDevice* device, uint32_t gap_threshold)
+      : device_(device), gap_threshold_(gap_threshold) {}
+
+  /// Advances the gradual scan by one block (call once per flash write).
+  /// Returns a victim block id if the scanned block is an unworn static
+  /// block, else kInvalidU32. The caller (the FTL) migrates its live
+  /// pages and erases it.
+  BlockId OnWrite() {
+    BlockId scanned = cursor_;
+    cursor_ = (cursor_ + 1) % device_->geometry().num_blocks;
+    // One spare-area read per scanned block (Appendix D's cost model).
+    device_->ReadSpare(PhysicalAddress{scanned, 0}, IoPurpose::kWearLeveling);
+    ++blocks_scanned_;
+
+    UpdateStats(scanned);
+    uint64_t avg = AverageEraseCount();
+    uint32_t count = device_->EraseCount(scanned);
+    if (avg >= gap_threshold_ && count + gap_threshold_ <= avg) {
+      ++victims_found_;
+      return scanned;
+    }
+    return kInvalidU32;
+  }
+
+  /// Running statistics (the "few global statistics" of Appendix D).
+  uint64_t AverageEraseCount() const {
+    return blocks_seen_ == 0 ? 0 : erase_count_sum_ / blocks_seen_;
+  }
+  uint32_t min_erase_count() const { return min_erase_; }
+  uint32_t max_erase_count() const { return max_erase_; }
+  uint64_t blocks_scanned() const { return blocks_scanned_; }
+  uint64_t victims_found() const { return victims_found_; }
+
+  /// RAM footprint: global statistics only (~30-40 bytes, Appendix D).
+  uint64_t RamBytes() const { return 40; }
+
+ private:
+  void UpdateStats(BlockId block) {
+    uint32_t count = device_->EraseCount(block);
+    erase_count_sum_ += count;
+    ++blocks_seen_;
+    if (count < min_erase_) min_erase_ = count;
+    if (count > max_erase_) max_erase_ = count;
+    // Restart statistics each full scan so they track the current state.
+    if (blocks_seen_ >= device_->geometry().num_blocks) {
+      erase_count_sum_ = 0;
+      blocks_seen_ = 0;
+      min_erase_ = ~0u;
+      max_erase_ = 0;
+    }
+  }
+
+  FlashDevice* device_;
+  uint32_t gap_threshold_;
+  BlockId cursor_ = 0;
+  uint64_t erase_count_sum_ = 0;
+  uint64_t blocks_seen_ = 0;
+  uint32_t min_erase_ = ~0u;
+  uint32_t max_erase_ = 0;
+  uint64_t blocks_scanned_ = 0;
+  uint64_t victims_found_ = 0;
+};
+
+}  // namespace gecko
+
+#endif  // GECKOFTL_FTL_WEAR_LEVELER_H_

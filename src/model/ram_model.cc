@@ -1,0 +1,103 @@
+#include "model/ram_model.h"
+
+#include <cmath>
+
+#include "core/analysis.h"
+
+namespace gecko {
+
+double GmdBytes(const Geometry& g) {
+  // One 4-byte pointer per translation page: (4 * TT) / P (Section 2).
+  return 4.0 * static_cast<double>(g.NumTranslationPages());
+}
+
+double RamPvbBytes(const Geometry& g) {
+  return static_cast<double>(g.TotalPages()) / 8.0;
+}
+
+double BvcBytes(const Geometry& g) {
+  return 2.0 * static_cast<double>(g.num_blocks);
+}
+
+namespace {
+
+RamComponent Cache(const RamModelParams& p) {
+  return RamComponent{"LRU cache",
+                      p.cache_entries * p.cache_entry_bytes};
+}
+
+}  // namespace
+
+RamBreakdown DftlRam(const Geometry& g, const RamModelParams& p) {
+  // DFTL: GMD + RAM PVB + LRU cache. The RAM PVB dominates (Section 5.3).
+  RamBreakdown b;
+  b.ftl = "DFTL";
+  b.components = {Cache(p),
+                  RamComponent{"GMD", GmdBytes(g)},
+                  RamComponent{"PVB", RamPvbBytes(g)}};
+  return b;
+}
+
+RamBreakdown LazyFtlRam(const Geometry& g, const RamModelParams& p) {
+  // LazyFTL's structures match DFTL's for RAM purposes (RAM PVB + GMD).
+  RamBreakdown b = DftlRam(g, p);
+  b.ftl = "LazyFTL";
+  return b;
+}
+
+RamBreakdown MuFtlRam(const Geometry& g, const RamModelParams& p) {
+  // µ-FTL: flash PVB (only a chunk directory in RAM), B-tree translation
+  // table with a resident root instead of a GMD, BVC for victim selection.
+  RamBreakdown b;
+  b.ftl = "uFTL";
+  double chunks = std::ceil(static_cast<double>(g.TotalPages()) /
+                            (g.page_bytes * 8.0));
+  b.components = {Cache(p),
+                  RamComponent{"B-tree root", static_cast<double>(g.page_bytes)},
+                  RamComponent{"PVB directory", 8.0 * chunks},
+                  RamComponent{"BVC", BvcBytes(g)}};
+  return b;
+}
+
+RamBreakdown IbFtlRam(const Geometry& g, const RamModelParams& p) {
+  // IB-FTL: per-block chain heads (6 bytes: page + slot) and per-block
+  // erase timestamps (4 bytes) for the log cleaning extension
+  // (Appendix E), plus BVC and the log's one-page buffer.
+  RamBreakdown b;
+  b.ftl = "IB-FTL";
+  b.components = {Cache(p),
+                  RamComponent{"B-tree root", static_cast<double>(g.page_bytes)},
+                  RamComponent{"PVL chain heads", 6.0 * g.num_blocks},
+                  RamComponent{"PVL erase timestamps", 4.0 * g.num_blocks},
+                  RamComponent{"PVL buffer", static_cast<double>(g.page_bytes)},
+                  RamComponent{"BVC", BvcBytes(g)}};
+  return b;
+}
+
+RamBreakdown GeckoFtlRam(const Geometry& g, const RamModelParams& p) {
+  // GeckoFTL: GMD + Logarithmic Gecko's run directories and buffers
+  // (Appendix B) + BVC.
+  RamBreakdown b;
+  b.ftl = "GeckoFTL";
+  const LogGeckoConfig& c = p.gecko;
+  double v = c.EntriesPerPage(g);
+  double gecko_pages = 2.0 * g.num_blocks * c.partition_factor / v;
+  double levels = LogGeckoLevels(g, c);
+  double buffers =
+      static_cast<double>(g.page_bytes) *
+      (c.merge_policy == MergePolicy::kMultiWay ? (2.0 + levels) : 3.0);
+  b.components = {Cache(p),
+                  RamComponent{"GMD", GmdBytes(g)},
+                  RamComponent{"Gecko run directories", 8.0 * gecko_pages},
+                  RamComponent{"Gecko buffers", buffers},
+                  RamComponent{"BVC", BvcBytes(g)}};
+  return b;
+}
+
+std::vector<RamBreakdown> AllFtlRam(const Geometry& g,
+                                    const RamModelParams& p) {
+  return {DftlRam(g, p), LazyFtlRam(g, p), MuFtlRam(g, p), IbFtlRam(g, p),
+          GeckoFtlRam(g, p)};
+}
+
+}  // namespace gecko

@@ -1,0 +1,64 @@
+// Analytic integrated-RAM models for the five FTLs (Section 2, Appendix B).
+//
+// The paper's Figure 1 (top) and Figure 13 (top) are produced from these
+// formulas evaluated at paper scale (e.g. a 2 TB device); simulation-scale
+// behaviour does not enter. Every term is documented with the section of
+// the paper it comes from.
+
+#ifndef GECKOFTL_MODEL_RAM_MODEL_H_
+#define GECKOFTL_MODEL_RAM_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/gecko_config.h"
+#include "flash/geometry.h"
+
+namespace gecko {
+
+/// One named component of an FTL's integrated-RAM footprint.
+struct RamComponent {
+  std::string name;
+  double bytes = 0;
+};
+
+struct RamBreakdown {
+  std::string ftl;
+  std::vector<RamComponent> components;
+
+  double TotalBytes() const {
+    double t = 0;
+    for (const RamComponent& c : components) t += c.bytes;
+    return t;
+  }
+};
+
+/// Parameters shared by the RAM models: cache of C entries at 8 bytes per
+/// entry (Section 5's default: 4 MB -> C = 2^19).
+struct RamModelParams {
+  uint64_t cache_entries = 1u << 19;  // C
+  double cache_entry_bytes = 8.0;
+  LogGeckoConfig gecko;               // for the Logarithmic Gecko terms
+};
+
+/// GMD size: (4 * TT) / P where TT = 4*K*B*R bytes (Section 2).
+double GmdBytes(const Geometry& g);
+/// RAM-resident PVB: B*K/8 bytes (Section 2, "Scalability of PVB").
+double RamPvbBytes(const Geometry& g);
+/// BVC: 2 bytes per block (Appendix B).
+double BvcBytes(const Geometry& g);
+
+RamBreakdown DftlRam(const Geometry& g, const RamModelParams& p);
+RamBreakdown LazyFtlRam(const Geometry& g, const RamModelParams& p);
+RamBreakdown MuFtlRam(const Geometry& g, const RamModelParams& p);
+RamBreakdown IbFtlRam(const Geometry& g, const RamModelParams& p);
+RamBreakdown GeckoFtlRam(const Geometry& g, const RamModelParams& p);
+
+/// All five, in the paper's Figure 13 order.
+std::vector<RamBreakdown> AllFtlRam(const Geometry& g,
+                                    const RamModelParams& p);
+
+}  // namespace gecko
+
+#endif  // GECKOFTL_MODEL_RAM_MODEL_H_

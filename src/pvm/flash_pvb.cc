@@ -1,0 +1,132 @@
+#include "pvm/flash_pvb.h"
+
+#include <unordered_map>
+
+namespace gecko {
+
+FlashPvb::FlashPvb(const Geometry& geometry, FlashDevice* device,
+                   PageAllocator* allocator)
+    : geometry_(geometry), device_(device), allocator_(allocator) {
+  // A chunk page holds P*8 validity bits = P*8/B blocks' worth.
+  blocks_per_chunk_ = geometry.page_bytes * 8 / geometry.pages_per_block;
+  GECKO_CHECK_GE(blocks_per_chunk_, 1u);
+  uint32_t num_chunks =
+      (geometry.num_blocks + blocks_per_chunk_ - 1) / blocks_per_chunk_;
+  chunk_locations_.assign(num_chunks, kNullAddress);
+  chunk_bits_.reserve(num_chunks);
+  for (uint32_t c = 0; c < num_chunks; ++c) {
+    chunk_bits_.emplace_back(blocks_per_chunk_ * geometry.pages_per_block);
+  }
+}
+
+template <typename Fn>
+void FlashPvb::ReadModifyWrite(uint32_t c, Fn mutate) {
+  PhysicalAddress old = chunk_locations_[c];
+  if (old.IsValid()) {
+    device_->ReadPage(old, IoPurpose::kPvm);
+  }
+  // First write of a chunk needs no prior read (all-zero bitmap).
+  mutate(&chunk_bits_[c]);
+  PhysicalAddress fresh = allocator_->AllocatePage(PageType::kPvm);
+  SpareArea spare;
+  spare.type = PageType::kPvm;
+  spare.key = c;  // chunk id, used by the recovery scan
+  spare.aux = 0;
+  device_->WritePage(fresh, spare, c, IoPurpose::kPvm);
+  chunk_locations_[c] = fresh;
+  if (old.IsValid()) {
+    allocator_->OnMetadataPageInvalidated(old);
+  }
+}
+
+void FlashPvb::RecordInvalidPage(PhysicalAddress addr) {
+  GECKO_CHECK_LT(addr.block, geometry_.num_blocks);
+  uint32_t c = ChunkOf(addr.block);
+  uint32_t bit = BitOffset(addr);
+  ReadModifyWrite(c, [&](Bitmap* bits) { bits->Set(bit); });
+}
+
+void FlashPvb::RecordErase(BlockId block) {
+  GECKO_CHECK_LT(block, geometry_.num_blocks);
+  uint32_t c = ChunkOf(block);
+  uint32_t base = (block % blocks_per_chunk_) * geometry_.pages_per_block;
+  ReadModifyWrite(c, [&](Bitmap* bits) {
+    for (uint32_t i = 0; i < geometry_.pages_per_block; ++i) {
+      bits->Clear(base + i);
+    }
+  });
+}
+
+Bitmap FlashPvb::QueryInvalidPages(BlockId block) {
+  GECKO_CHECK_LT(block, geometry_.num_blocks);
+  uint32_t c = ChunkOf(block);
+  if (!chunk_locations_[c].IsValid()) {
+    return Bitmap(geometry_.pages_per_block);  // chunk never written
+  }
+  device_->ReadPage(chunk_locations_[c], IoPurpose::kPvm);
+  uint32_t base = (block % blocks_per_chunk_) * geometry_.pages_per_block;
+  return chunk_bits_[c].ExtractChunk(base, geometry_.pages_per_block);
+}
+
+bool FlashPvb::RelocateIfCurrent(PhysicalAddress addr) {
+  for (uint32_t c = 0; c < chunk_locations_.size(); ++c) {
+    if (chunk_locations_[c] == addr) {
+      // Rewrite the chunk verbatim at a fresh location.
+      ReadModifyWrite(c, [](Bitmap*) {});
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<uint32_t> FlashPvb::ReadAllInvalidCounts(IoPurpose purpose) {
+  std::vector<uint32_t> counts(geometry_.num_blocks, 0);
+  for (uint32_t c = 0; c < chunk_locations_.size(); ++c) {
+    if (!chunk_locations_[c].IsValid()) continue;
+    device_->ReadPage(chunk_locations_[c], purpose);
+    BlockId first = c * blocks_per_chunk_;
+    for (uint32_t i = 0; i < blocks_per_chunk_; ++i) {
+      BlockId block = first + i;
+      if (block >= geometry_.num_blocks) break;
+      counts[block] = static_cast<uint32_t>(
+          chunk_bits_[c]
+              .ExtractChunk(i * geometry_.pages_per_block,
+                            geometry_.pages_per_block)
+              .Count());
+    }
+  }
+  return counts;
+}
+
+void FlashPvb::ResetRamState() {
+  for (auto& loc : chunk_locations_) loc = kNullAddress;
+}
+
+FlashPvb::RecoveryInfo FlashPvb::Recover(
+    const std::vector<BlockId>& pvm_blocks) {
+  RecoveryInfo info;
+  // Newest version of each chunk wins (chunk pages are updated out of
+  // place, like translation pages).
+  std::unordered_map<uint32_t, uint64_t> newest_seq;
+  for (BlockId block : pvm_blocks) {
+    for (uint32_t p = 0; p < geometry_.pages_per_block; ++p) {
+      PhysicalAddress addr{block, p};
+      PageReadResult r = device_->ReadSpare(addr, IoPurpose::kRecovery);
+      ++info.spare_reads;
+      if (!r.written) break;
+      if (!r.spare.IsPvm()) continue;
+      uint32_t c = r.spare.key;
+      auto it = newest_seq.find(c);
+      if (it == newest_seq.end() || r.spare.seq > it->second) {
+        newest_seq[c] = r.spare.seq;
+        chunk_locations_[c] = addr;
+      }
+    }
+  }
+  for (const PhysicalAddress& loc : chunk_locations_) {
+    if (loc.IsValid()) info.live_pages.push_back(loc);
+  }
+  return info;
+}
+
+}  // namespace gecko

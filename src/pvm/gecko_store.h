@@ -1,0 +1,42 @@
+// Adapter exposing Logarithmic Gecko behind the PageValidityStore
+// interface, so the Section 5.1/5.2 experiments and the FTL framework can
+// swap page-validity schemes uniformly.
+
+#ifndef GECKOFTL_PVM_GECKO_STORE_H_
+#define GECKOFTL_PVM_GECKO_STORE_H_
+
+#include "core/log_gecko.h"
+#include "pvm/page_validity_store.h"
+
+namespace gecko {
+
+class GeckoStore : public PageValidityStore {
+ public:
+  GeckoStore(const Geometry& geometry, const LogGeckoConfig& config,
+             FlashDevice* device, PageAllocator* allocator)
+      : gecko_(geometry, config, device, allocator) {}
+
+  void RecordInvalidPage(PhysicalAddress addr) override {
+    gecko_.RecordInvalidPage(addr);
+  }
+
+  void RecordErase(BlockId block) override { gecko_.RecordErase(block); }
+
+  Bitmap QueryInvalidPages(BlockId block) override {
+    return gecko_.QueryInvalidPages(block);
+  }
+
+  uint64_t RamBytes() const override { return gecko_.RamBytes(); }
+
+  const char* Name() const override { return "log-gecko"; }
+
+  LogGecko& gecko() { return gecko_; }
+  const LogGecko& gecko() const { return gecko_; }
+
+ private:
+  LogGecko gecko_;
+};
+
+}  // namespace gecko
+
+#endif  // GECKOFTL_PVM_GECKO_STORE_H_

@@ -1,0 +1,43 @@
+// Common interface for page-validity metadata structures.
+//
+// The four implementations correspond to the schemes compared in the paper
+// (Section 5.3): a RAM-resident PVB (DFTL/LazyFTL), a flash-resident PVB
+// (µ-FTL), IB-FTL's page-validity log, and Logarithmic Gecko (adapted in
+// gecko_store.h). FTLs and the Section 5.1/5.2 experiments program against
+// this interface; recovery is store-specific and handled by each FTL.
+
+#ifndef GECKOFTL_PVM_PAGE_VALIDITY_STORE_H_
+#define GECKOFTL_PVM_PAGE_VALIDITY_STORE_H_
+
+#include <cstdint>
+
+#include "flash/types.h"
+#include "util/bitmap.h"
+
+namespace gecko {
+
+/// Tracks which physical pages of user blocks are invalid.
+class PageValidityStore {
+ public:
+  virtual ~PageValidityStore() = default;
+
+  /// Records that the page at `addr` became invalid (an "update").
+  virtual void RecordInvalidPage(PhysicalAddress addr) = 0;
+
+  /// Records that `block` was erased; all earlier records for it become
+  /// obsolete.
+  virtual void RecordErase(BlockId block) = 0;
+
+  /// GC query: returns a B-bit bitmap, bit i set iff page i of `block` is
+  /// recorded invalid.
+  virtual Bitmap QueryInvalidPages(BlockId block) = 0;
+
+  /// Current integrated-RAM footprint of the structure in bytes.
+  virtual uint64_t RamBytes() const = 0;
+
+  virtual const char* Name() const = 0;
+};
+
+}  // namespace gecko
+
+#endif  // GECKOFTL_PVM_PAGE_VALIDITY_STORE_H_

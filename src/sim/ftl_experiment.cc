@@ -1,0 +1,38 @@
+#include "sim/ftl_experiment.h"
+
+#include "util/check.h"
+
+namespace gecko {
+
+void FtlExperiment::Fill(Ftl& ftl, uint64_t num_lpns) {
+  for (uint64_t lpn = 0; lpn < num_lpns; ++lpn) {
+    Status s = ftl.Write(static_cast<Lpn>(lpn), Token(static_cast<Lpn>(lpn), 0));
+    GECKO_CHECK(s.ok()) << s.ToString();
+  }
+}
+
+WaBreakdown FtlExperiment::MeasureWa(Ftl& ftl, FlashDevice& device,
+                                     Workload& workload, uint64_t warm_ops,
+                                     uint64_t measure_ops) {
+  for (uint64_t i = 0; i < warm_ops; ++i) {
+    Status s = ftl.Write(workload.NextLpn(), Token(0, i));
+    GECKO_CHECK(s.ok()) << s.ToString();
+  }
+  IoCounters before = device.stats().Snapshot();
+  for (uint64_t i = 0; i < measure_ops; ++i) {
+    Status s = ftl.Write(workload.NextLpn(), Token(1, i));
+    GECKO_CHECK(s.ok()) << s.ToString();
+  }
+  IoCounters delta = device.stats().Snapshot() - before;
+  double d = device.stats().latency().Delta();
+
+  WaBreakdown wa;
+  wa.user_and_gc = delta.WriteAmplificationFor(IoPurpose::kGcMigration, d) +
+                   delta.WriteAmplificationFor(IoPurpose::kUserWrite, d);
+  wa.translation = delta.WriteAmplificationFor(IoPurpose::kTranslation, d);
+  wa.page_validity = delta.WriteAmplificationFor(IoPurpose::kPvm, d);
+  wa.total = delta.WriteAmplification(d);
+  return wa;
+}
+
+}  // namespace gecko

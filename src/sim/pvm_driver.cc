@@ -1,0 +1,118 @@
+#include "sim/pvm_driver.h"
+
+namespace gecko {
+
+PvmDriver::PvmDriver(FlashDevice* device, PageValidityStore* store,
+                     uint32_t user_blocks, double logical_ratio)
+    : device_(device),
+      store_(store),
+      user_blocks_(user_blocks),
+      invalid_count_(user_blocks, 0) {
+  const Geometry& g = device->geometry();
+  GECKO_CHECK_LE(user_blocks, g.num_blocks);
+  num_lpns_ = static_cast<uint64_t>(uint64_t{user_blocks} *
+                                    g.pages_per_block * logical_ratio);
+  GECKO_CHECK_GT(num_lpns_, 0u);
+  mapping_.assign(num_lpns_, kNullAddress);
+  reverse_.assign(uint64_t{user_blocks} * g.pages_per_block, kInvalidU32);
+  oracle_.reserve(user_blocks);
+  for (uint32_t b = 0; b < user_blocks; ++b) {
+    oracle_.emplace_back(g.pages_per_block);
+    free_blocks_.push_back(b);
+  }
+}
+
+PhysicalAddress PvmDriver::Allocate() {
+  const uint32_t pages_per_block = device_->geometry().pages_per_block;
+  if (!active_.IsValid() || active_.page >= pages_per_block) {
+    GECKO_CHECK(!free_blocks_.empty());
+    active_ = PhysicalAddress{free_blocks_.front(), 0};
+    free_blocks_.pop_front();
+  }
+  PhysicalAddress out = active_;
+  ++active_.page;
+  return out;
+}
+
+void PvmDriver::WriteLpn(Lpn lpn) {
+  EnsureFreeBlocks();
+  PhysicalAddress ppa = Allocate();
+  SpareArea spare;
+  spare.type = PageType::kUser;
+  spare.key = lpn;
+  device_->WritePage(ppa, spare, lpn, IoPurpose::kUserWrite);
+  reverse_[device_->FlatIndex(ppa)] = lpn;
+
+  PhysicalAddress old = mapping_[lpn];
+  mapping_[lpn] = ppa;
+  if (old.IsValid()) {
+    // Invalidation of the before-image: the store update under test.
+    store_->RecordInvalidPage(old);
+    ++updates_issued_;
+    oracle_[old.block].Set(old.page);
+    ++invalid_count_[old.block];
+  }
+}
+
+void PvmDriver::Fill() {
+  for (uint64_t lpn = 0; lpn < num_lpns_; ++lpn) {
+    WriteLpn(static_cast<Lpn>(lpn));
+  }
+}
+
+void PvmDriver::RunUpdates(uint64_t count, Workload& workload) {
+  for (uint64_t i = 0; i < count; ++i) {
+    device_->stats().OnLogicalWrite();
+    WriteLpn(workload.NextLpn());
+  }
+}
+
+void PvmDriver::EnsureFreeBlocks() {
+  while (free_blocks_.size() < 2) CollectOne();
+}
+
+void PvmDriver::CollectOne() {
+  const uint32_t pages_per_block = device_->geometry().pages_per_block;
+  // Greedy victim: most invalid pages among full, non-active blocks.
+  BlockId victim = kInvalidU32;
+  uint32_t best = 0;
+  for (BlockId b = 0; b < user_blocks_; ++b) {
+    if (active_.IsValid() && b == active_.block) continue;
+    if (device_->PagesWritten(b) < pages_per_block) continue;
+    if (invalid_count_[b] >= best && invalid_count_[b] > 0) {
+      best = invalid_count_[b];
+      victim = b;
+    }
+  }
+  GECKO_CHECK_NE(victim, kInvalidU32) << "PvmDriver: no reclaimable block";
+  ++gc_operations_;
+
+  // The GC query under test, validated against the exact oracle.
+  Bitmap invalid = store_->QueryInvalidPages(victim);
+  GECKO_CHECK(invalid == oracle_[victim])
+      << store_->Name() << " GC query mismatch on block " << victim;
+
+  for (uint32_t p = 0; p < pages_per_block; ++p) {
+    PhysicalAddress addr{victim, p};
+    if (invalid.Test(p)) continue;
+    Lpn lpn = reverse_[device_->FlatIndex(addr)];
+    if (lpn == kInvalidU32) continue;  // never written (partial block)
+    // Migrate the live page (charged as GC migration, not to the store).
+    PhysicalAddress dest = Allocate();
+    SpareArea spare;
+    spare.type = PageType::kUser;
+    spare.key = lpn;
+    device_->ReadPage(addr, IoPurpose::kGcMigration);
+    device_->WritePage(dest, spare, lpn, IoPurpose::kGcMigration);
+    reverse_[device_->FlatIndex(dest)] = lpn;
+    mapping_[lpn] = dest;
+  }
+
+  store_->RecordErase(victim);
+  oracle_[victim].Reset();
+  invalid_count_[victim] = 0;
+  device_->EraseBlock(victim, IoPurpose::kGcMigration);
+  free_blocks_.push_back(victim);
+}
+
+}  // namespace gecko

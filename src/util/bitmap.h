@@ -1,0 +1,107 @@
+// Fixed-size dynamic bitmap used for page-validity bits.
+//
+// A Gecko entry carries a bitmap of B (or B/S) bits; a GC query result is a
+// bitmap of B bits. std::vector<bool> is avoided for its proxy-reference
+// quirks; this class stores whole 64-bit words and supports the bitwise-OR
+// merge that Algorithm 3 of the paper requires.
+
+#ifndef GECKOFTL_UTIL_BITMAP_H_
+#define GECKOFTL_UTIL_BITMAP_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace gecko {
+
+/// Bitmap with a fixed number of bits chosen at construction.
+class Bitmap {
+ public:
+  Bitmap() : num_bits_(0) {}
+  explicit Bitmap(size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  size_t size() const { return num_bits_; }
+
+  bool Test(size_t i) const {
+    GECKO_CHECK_LT(i, num_bits_);
+    return (words_[i / 64] >> (i % 64)) & 1u;
+  }
+
+  void Set(size_t i) {
+    GECKO_CHECK_LT(i, num_bits_);
+    words_[i / 64] |= uint64_t{1} << (i % 64);
+  }
+
+  void Clear(size_t i) {
+    GECKO_CHECK_LT(i, num_bits_);
+    words_[i / 64] &= ~(uint64_t{1} << (i % 64));
+  }
+
+  void Reset() {
+    for (uint64_t& w : words_) w = 0;
+  }
+
+  /// Bitwise-OR merge with another bitmap of the same size (Algorithm 3).
+  void OrWith(const Bitmap& other) {
+    GECKO_CHECK_EQ(num_bits_, other.num_bits_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  }
+
+  /// Number of set bits (the paper's "hamming weight", Appendix C step 5).
+  size_t Count() const {
+    size_t n = 0;
+    for (uint64_t w : words_) n += std::popcount(w);
+    return n;
+  }
+
+  bool Any() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  bool None() const { return !Any(); }
+
+  bool operator==(const Bitmap& other) const {
+    return num_bits_ == other.num_bits_ && words_ == other.words_;
+  }
+
+  /// Copies bits [offset, offset+chunk.size()) from `chunk` into this bitmap.
+  /// Used to assemble a full block bitmap from partitioned sub-entries.
+  void CopyChunk(size_t offset, const Bitmap& chunk) {
+    GECKO_CHECK_LE(offset + chunk.size(), num_bits_);
+    for (size_t i = 0; i < chunk.size(); ++i) {
+      if (chunk.Test(i)) Set(offset + i);
+    }
+  }
+
+  /// Returns bits [offset, offset+len) as a new bitmap.
+  Bitmap ExtractChunk(size_t offset, size_t len) const {
+    GECKO_CHECK_LE(offset + len, num_bits_);
+    Bitmap out(len);
+    for (size_t i = 0; i < len; ++i) {
+      if (Test(offset + i)) out.Set(i);
+    }
+    return out;
+  }
+
+  std::string DebugString() const {
+    std::string s;
+    s.reserve(num_bits_);
+    for (size_t i = 0; i < num_bits_; ++i) s.push_back(Test(i) ? '1' : '0');
+    return s;
+  }
+
+ private:
+  size_t num_bits_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace gecko
+
+#endif  // GECKOFTL_UTIL_BITMAP_H_

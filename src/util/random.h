@@ -1,0 +1,84 @@
+// Deterministic random-number helpers used by workloads and tests.
+//
+// Everything in the simulator must be reproducible from a seed, so all
+// randomness flows through Rng (a thin wrapper over std::mt19937_64) and
+// the Zipf generator below.
+
+#ifndef GECKOFTL_UTIL_RANDOM_H_
+#define GECKOFTL_UTIL_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/check.h"
+
+namespace gecko {
+
+/// Seeded pseudo-random generator. Not thread-safe; use one per simulation.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Returns a uniform integer in [0, bound).
+  uint64_t Uniform(uint64_t bound) {
+    GECKO_CHECK_GT(bound, 0u);
+    return std::uniform_int_distribution<uint64_t>(0, bound - 1)(engine_);
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double UniformDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Returns true with probability `p`.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Zipf-distributed integers in [0, n) with skew parameter `theta` (0 =
+/// uniform, larger = more skewed). Uses the classic inverse-CDF table,
+/// precomputed once; sampling is O(log n).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta) : n_(n) {
+    GECKO_CHECK_GT(n, 0u);
+    cdf_.reserve(n);
+    double sum = 0.0;
+    for (uint64_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+      cdf_.push_back(sum);
+    }
+    for (double& v : cdf_) v /= sum;
+  }
+
+  uint64_t Next(Rng& rng) const {
+    double u = rng.UniformDouble();
+    // Binary search for the first cdf entry >= u.
+    uint64_t lo = 0, hi = n_ - 1;
+    while (lo < hi) {
+      uint64_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  uint64_t n_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace gecko
+
+#endif  // GECKOFTL_UTIL_RANDOM_H_

@@ -1,0 +1,108 @@
+// Minimal Status / StatusOr types for error reporting without exceptions.
+//
+// Modeled on the absl::Status / rocksdb::Status idiom: functions that can
+// fail in ways the caller should handle return Status (or StatusOr<T>);
+// programming errors abort via GECKO_CHECK.
+
+#ifndef GECKOFTL_UTIL_STATUS_H_
+#define GECKOFTL_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace gecko {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfSpace,
+  kFailedPrecondition,
+  kCorruption,
+};
+
+/// Result of an operation that can fail. Cheap to copy when OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status OutOfSpace(std::string m) {
+    return Status(StatusCode::kOutOfSpace, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status Corruption(std::string m) {
+    return Status(StatusCode::kCorruption, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    const char* name = "UNKNOWN";
+    switch (code_) {
+      case StatusCode::kOk: name = "OK"; break;
+      case StatusCode::kInvalidArgument: name = "INVALID_ARGUMENT"; break;
+      case StatusCode::kNotFound: name = "NOT_FOUND"; break;
+      case StatusCode::kOutOfSpace: name = "OUT_OF_SPACE"; break;
+      case StatusCode::kFailedPrecondition: name = "FAILED_PRECONDITION"; break;
+      case StatusCode::kCorruption: name = "CORRUPTION"; break;
+    }
+    return std::string(name) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value or an error Status. Dereferencing a non-OK StatusOr aborts.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    GECKO_CHECK(!status_.ok()) << "StatusOr constructed from OK without value";
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    GECKO_CHECK(ok()) << status_.ToString();
+    return value_;
+  }
+  T& value() & {
+    GECKO_CHECK(ok()) << status_.ToString();
+    return value_;
+  }
+  T&& value() && {
+    GECKO_CHECK(ok()) << status_.ToString();
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace gecko
+
+#endif  // GECKOFTL_UTIL_STATUS_H_

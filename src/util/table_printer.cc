@@ -1,0 +1,88 @@
+#include "util/table_printer.h"
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace gecko {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  GECKO_CHECK_EQ(cells.size(), header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::printf("|");
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf(" %-*s |", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(header_);
+  std::printf("|");
+  for (size_t c = 0; c < header_.size(); ++c) {
+    for (size_t i = 0; i < widths[c] + 2; ++i) std::printf("-");
+    std::printf("|");
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::Fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TablePrinter::Fmt(uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  return buf;
+}
+
+std::string TablePrinter::Fmt(int value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%d", value);
+  return buf;
+}
+
+std::string TablePrinter::FmtBytes(double bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", bytes, units[u]);
+  return buf;
+}
+
+std::string TablePrinter::FmtMicros(double micros) {
+  char buf[64];
+  if (micros < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", micros);
+  } else if (micros < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", micros / 1e3);
+  } else if (micros < 60e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", micros / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f min", micros / 60e6);
+  }
+  return buf;
+}
+
+}  // namespace gecko

@@ -1,0 +1,41 @@
+// Console table formatting for the benchmark harnesses.
+//
+// Each bench_fig* binary prints the series a paper figure plots; this
+// helper keeps the columns aligned so the output reads like the paper's
+// tables.
+
+#ifndef GECKOFTL_UTIL_TABLE_PRINTER_H_
+#define GECKOFTL_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace gecko {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table (header, separator, rows) to stdout.
+  void Print() const;
+
+  /// Formats a double with `precision` decimal places.
+  static std::string Fmt(double value, int precision = 3);
+  static std::string Fmt(uint64_t value);
+  static std::string Fmt(int value);
+  /// Formats a byte count with an adaptive unit (B / KB / MB / GB).
+  static std::string FmtBytes(double bytes);
+  /// Formats a duration in microseconds with an adaptive unit (µs/ms/s/min).
+  static std::string FmtMicros(double micros);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gecko
+
+#endif  // GECKOFTL_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,71 @@
+#include "core/gecko_config.h"
+
+#include <gtest/gtest.h>
+
+namespace gecko {
+namespace {
+
+Geometry G(uint32_t blocks, uint32_t pages, uint32_t page_bytes) {
+  Geometry g;
+  g.num_blocks = blocks;
+  g.pages_per_block = pages;
+  g.page_bytes = page_bytes;
+  g.logical_ratio = 0.7;
+  return g;
+}
+
+TEST(LogGeckoConfigTest, EntryBitsWithoutPartitioning) {
+  LogGeckoConfig c;
+  c.partition_factor = 1;
+  Geometry g = G(1024, 128, 4096);
+  // key (32) + bitmap (128) + erase flag (1).
+  EXPECT_EQ(c.EntryBits(g), 161u);
+  EXPECT_EQ(c.EntriesPerPage(g), 4096u * 8 / 161);
+}
+
+TEST(LogGeckoConfigTest, PartitioningShrinksEntries) {
+  Geometry g = G(1024, 128, 4096);
+  LogGeckoConfig c;
+  c.partition_factor = 4;
+  // Paper's example (Section 3.3): S=4 with B=128 gives a 32-bit key and
+  // a 32-bit chunk per sub-entry.
+  EXPECT_EQ(c.ChunkBits(g), 32u);
+  EXPECT_EQ(c.EntryBits(g), 65u);
+  LogGeckoConfig c1;
+  EXPECT_GT(c.EntriesPerPage(g), c1.EntriesPerPage(g));
+}
+
+TEST(LogGeckoConfigTest, RecommendedPartitionFactorIsBOverKey) {
+  Geometry g = G(1024, 128, 4096);
+  EXPECT_EQ(LogGeckoConfig::RecommendedPartitionFactor(g), 4u);
+  Geometry g2 = G(1024, 256, 4096);
+  EXPECT_EQ(LogGeckoConfig::RecommendedPartitionFactor(g2), 8u);
+  // Small blocks: factor clamps to 1.
+  Geometry g3 = G(1024, 16, 4096);
+  EXPECT_EQ(LogGeckoConfig::RecommendedPartitionFactor(g3), 1u);
+}
+
+TEST(LogGeckoConfigTest, RecommendedFactorDividesB) {
+  for (uint32_t b : {32u, 48u, 64u, 96u, 128u, 192u, 256u, 1024u}) {
+    Geometry g = G(64, b, 4096);
+    uint32_t s = LogGeckoConfig::RecommendedPartitionFactor(g);
+    EXPECT_EQ(b % s, 0u) << "B=" << b << " S=" << s;
+  }
+}
+
+TEST(LogGeckoConfigDeathTest, RejectsNonDividingPartitionFactor) {
+  Geometry g = G(64, 128, 4096);
+  LogGeckoConfig c;
+  c.partition_factor = 3;  // does not divide 128
+  EXPECT_DEATH(c.Validate(g), "divide");
+}
+
+TEST(LogGeckoConfigDeathTest, RejectsSizeRatioBelowTwo) {
+  Geometry g = G(64, 128, 4096);
+  LogGeckoConfig c;
+  c.size_ratio = 1;
+  EXPECT_DEATH(c.Validate(g), "size_ratio");
+}
+
+}  // namespace
+}  // namespace gecko

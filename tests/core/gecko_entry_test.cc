@@ -1,0 +1,84 @@
+#include "core/gecko_entry.h"
+
+#include <gtest/gtest.h>
+
+namespace gecko {
+namespace {
+
+TEST(GeckoKeyTest, RoundTripsBlockAndSub) {
+  const uint32_t s = 4;
+  GeckoKey k = MakeGeckoKey(123, 3, s);
+  EXPECT_EQ(GeckoKeyBlock(k, s), 123u);
+  EXPECT_EQ(GeckoKeySub(k, s), 3u);
+}
+
+TEST(GeckoKeyTest, KeysOfOneBlockAreAdjacent) {
+  const uint32_t s = 4;
+  // All sub-entries of block b sort before any sub-entry of block b+1,
+  // which is what makes one directory-guided read per run possible.
+  EXPECT_LT(MakeGeckoKey(10, 3, s), MakeGeckoKey(11, 0, s));
+  EXPECT_LT(MakeGeckoKey(10, 0, s), MakeGeckoKey(10, 1, s));
+}
+
+TEST(GeckoKeyTest, NoPartitioningDegeneratesToBlockId) {
+  EXPECT_EQ(MakeGeckoKey(77, 0, 1), 77u);
+  EXPECT_EQ(GeckoKeyBlock(77, 1), 77u);
+  EXPECT_EQ(GeckoKeySub(77, 1), 0u);
+}
+
+// Algorithm 3: collision handling during merges.
+TEST(GeckoEntryTest, AbsorbOlderMergesBitmaps) {
+  GeckoEntry newer(5, 8);
+  newer.bits.Set(0);
+  GeckoEntry older(5, 8);
+  older.bits.Set(3);
+  newer.AbsorbOlder(older);
+  EXPECT_TRUE(newer.bits.Test(0));
+  EXPECT_TRUE(newer.bits.Test(3));
+  EXPECT_FALSE(newer.erase_flag);
+}
+
+TEST(GeckoEntryTest, NewerEraseFlagDiscardsOlder) {
+  GeckoEntry newer(5, 8, /*erased=*/true);
+  newer.bits.Set(1);  // invalidated after the erase
+  GeckoEntry older(5, 8);
+  older.bits.Set(7);  // invalidated before the erase: obsolete
+  newer.AbsorbOlder(older);
+  EXPECT_TRUE(newer.bits.Test(1));
+  EXPECT_FALSE(newer.bits.Test(7));
+  EXPECT_TRUE(newer.erase_flag);
+}
+
+TEST(GeckoEntryTest, OlderEraseFlagIsInherited) {
+  // If the *older* entry carries the erase flag, the merged entry must
+  // keep masking even older runs (Algorithm 3 keeps the older flag).
+  GeckoEntry newer(5, 8);
+  newer.bits.Set(2);
+  GeckoEntry older(5, 8, /*erased=*/true);
+  older.bits.Set(4);
+  newer.AbsorbOlder(older);
+  EXPECT_TRUE(newer.erase_flag);
+  EXPECT_TRUE(newer.bits.Test(2));
+  EXPECT_TRUE(newer.bits.Test(4));
+}
+
+TEST(GeckoEntryTest, ChainOfAbsorbsMatchesRecencyOrder) {
+  // newest: bits {0}; middle: erase flag + bits {1}; oldest: bits {2}.
+  // Query semantics: {0} from newest, {1} from middle, stop at erase —
+  // the oldest entry's bits must not appear.
+  GeckoEntry newest(9, 8);
+  newest.bits.Set(0);
+  GeckoEntry middle(9, 8, /*erased=*/true);
+  middle.bits.Set(1);
+  GeckoEntry oldest(9, 8);
+  oldest.bits.Set(2);
+
+  newest.AbsorbOlder(middle);
+  newest.AbsorbOlder(oldest);
+  EXPECT_TRUE(newest.bits.Test(0));
+  EXPECT_TRUE(newest.bits.Test(1));
+  EXPECT_FALSE(newest.bits.Test(2));
+}
+
+}  // namespace
+}  // namespace gecko

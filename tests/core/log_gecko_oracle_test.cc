@@ -1,0 +1,114 @@
+// Randomized model-based test: Logarithmic Gecko must agree with an exact
+// RAM-resident bitmap oracle on every GC query, for any interleaving of
+// updates, erases, and queries, across tunings of T, S, and merge policy.
+//
+// The operation stream respects the FTL contract: a page is only
+// invalidated once per block life-cycle, and an erase resets the cycle.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/log_gecko.h"
+#include "flash/simple_allocator.h"
+#include "util/random.h"
+
+namespace gecko {
+namespace {
+
+Geometry SmallGeometry() {
+  Geometry g;
+  g.num_blocks = 48;
+  g.pages_per_block = 16;
+  g.page_bytes = 256;
+  g.logical_ratio = 0.7;
+  return g;
+}
+
+struct OracleParam {
+  uint32_t size_ratio;
+  uint32_t partition_factor;
+  MergePolicy policy;
+  uint64_t seed;
+};
+
+class LogGeckoOracleTest : public ::testing::TestWithParam<OracleParam> {};
+
+TEST_P(LogGeckoOracleTest, AgreesWithExactBitmapOracle) {
+  const OracleParam param = GetParam();
+  const Geometry g = SmallGeometry();
+  const uint32_t kUserBlocks = 24;  // tracked blocks; the rest hold runs
+
+  FlashDevice device(g);
+  SimpleAllocator allocator(&device, kUserBlocks, g.num_blocks - kUserBlocks);
+  LogGeckoConfig config;
+  config.size_ratio = param.size_ratio;
+  config.partition_factor = param.partition_factor;
+  config.merge_policy = param.policy;
+  LogGecko gecko(g, config, &device, &allocator);
+
+  std::vector<Bitmap> oracle;
+  for (uint32_t b = 0; b < kUserBlocks; ++b) {
+    oracle.emplace_back(g.pages_per_block);
+  }
+
+  Rng rng(param.seed);
+  for (int op = 0; op < 30000; ++op) {
+    uint32_t dice = static_cast<uint32_t>(rng.Uniform(100));
+    BlockId block = static_cast<BlockId>(rng.Uniform(kUserBlocks));
+    if (dice < 80) {
+      // Invalidate a not-yet-invalid page, as the FTL contract guarantees.
+      uint32_t page = static_cast<uint32_t>(rng.Uniform(g.pages_per_block));
+      if (oracle[block].Test(page)) continue;
+      oracle[block].Set(page);
+      gecko.RecordInvalidPage(PhysicalAddress{block, page});
+    } else if (dice < 88) {
+      gecko.RecordErase(block);
+      oracle[block].Reset();
+    } else {
+      Bitmap got = gecko.QueryInvalidPages(block);
+      ASSERT_TRUE(got == oracle[block])
+          << "op " << op << " block " << block << "\n got     "
+          << got.DebugString() << "\n expect  "
+          << oracle[block].DebugString();
+    }
+  }
+
+  // Final sweep: every block agrees.
+  for (BlockId b = 0; b < kUserBlocks; ++b) {
+    Bitmap got = gecko.QueryInvalidPages(b);
+    ASSERT_TRUE(got == oracle[b]) << "final check, block " << b;
+  }
+
+  // Structural invariants after a long run.
+  EXPECT_LE(gecko.NumLiveRuns(), gecko.NumLevels() + 1);
+  // Space-amplification stays bounded (~2x the minimal size, Section 3.2;
+  // the framing pages add a constant per run).
+  uint64_t v = config.EntriesPerPage(g);
+  uint64_t max_entries = uint64_t{kUserBlocks} * config.partition_factor;
+  uint64_t max_pages = 2 * (max_entries / v + 1) + 3 * gecko.NumLiveRuns();
+  EXPECT_LE(gecko.FlashPages(), max_pages * 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tunings, LogGeckoOracleTest,
+    ::testing::Values(
+        OracleParam{2, 1, MergePolicy::kTwoWay, 1},
+        OracleParam{2, 1, MergePolicy::kMultiWay, 2},
+        OracleParam{3, 1, MergePolicy::kTwoWay, 3},
+        OracleParam{4, 1, MergePolicy::kMultiWay, 4},
+        OracleParam{2, 4, MergePolicy::kTwoWay, 5},
+        OracleParam{2, 4, MergePolicy::kMultiWay, 6},
+        OracleParam{3, 8, MergePolicy::kTwoWay, 7},
+        OracleParam{2, 16, MergePolicy::kTwoWay, 8},
+        OracleParam{8, 2, MergePolicy::kMultiWay, 9}),
+    [](const ::testing::TestParamInfo<OracleParam>& info) {
+      const OracleParam& p = info.param;
+      return "T" + std::to_string(p.size_ratio) + "_S" +
+             std::to_string(p.partition_factor) + "_" +
+             (p.policy == MergePolicy::kTwoWay ? "twoway" : "multiway");
+    });
+
+}  // namespace
+}  // namespace gecko

@@ -1,0 +1,59 @@
+#include "flash/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace gecko {
+namespace {
+
+// Figure 2's running example: K=2^22, B=2^7, P=2^12, R=0.7 — a 2 TB device.
+TEST(GeometryTest, PaperScaleMatchesFigure2) {
+  Geometry g = Geometry::PaperScale();
+  EXPECT_EQ(g.TotalPages(), uint64_t{1} << 29);
+  EXPECT_EQ(g.PhysicalBytes(), uint64_t{1} << 41);  // 2 TB
+  // Translation table: 4*K*B*R bytes ~ 1.4 GB (Section 2).
+  double tt_gb = static_cast<double>(g.TranslationTableBytes()) / (1u << 30);
+  EXPECT_NEAR(tt_gb, 1.4, 0.05);
+  // GMD: (4*TT)/P ~ 1.4 MB (Section 2).
+  double gmd_mb = 4.0 * g.NumTranslationPages() / (1u << 20);
+  EXPECT_NEAR(gmd_mb, 1.4, 0.05);
+  // PVB: B*K/8 bytes = 64 MB (Section 2, "Scalability of PVB").
+  EXPECT_EQ(g.TotalPages() / 8, uint64_t{64} << 20);
+}
+
+TEST(GeometryTest, SpareAreaIs32xSmaller) {
+  Geometry g;
+  g.page_bytes = 4096;
+  EXPECT_EQ(g.SpareBytes(), 128u);
+}
+
+TEST(GeometryTest, MappingEntriesPerTranslationPage) {
+  Geometry g;
+  g.page_bytes = 4096;
+  EXPECT_EQ(g.MappingEntriesPerTranslationPage(), 1024u);
+}
+
+TEST(GeometryTest, TranslationPagesCoverLogicalSpace) {
+  Geometry g = Geometry::TestScale();
+  uint64_t covered =
+      g.NumTranslationPages() * g.MappingEntriesPerTranslationPage();
+  EXPECT_GE(covered, g.NumLogicalPages());
+  EXPECT_LT((g.NumTranslationPages() - 1) *
+                uint64_t{g.MappingEntriesPerTranslationPage()},
+            g.NumLogicalPages());
+}
+
+TEST(GeometryTest, LogicalRatioShrinksLogicalSpace) {
+  Geometry g = Geometry::TestScale();
+  EXPECT_LT(g.NumLogicalPages(), g.TotalPages());
+  EXPECT_NEAR(static_cast<double>(g.NumLogicalPages()) / g.TotalPages(),
+              g.logical_ratio, 0.01);
+}
+
+TEST(GeometryValidateDeathTest, RejectsBadRatio) {
+  Geometry g = Geometry::TestScale();
+  g.logical_ratio = 1.5;
+  EXPECT_DEATH(g.Validate(), "logical_ratio");
+}
+
+}  // namespace
+}  // namespace gecko

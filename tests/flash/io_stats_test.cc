@@ -1,0 +1,88 @@
+#include "flash/io_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace gecko {
+namespace {
+
+TEST(IoStatsTest, CountsAccumulatePerPurpose) {
+  IoStats stats;
+  stats.OnPageRead(IoPurpose::kTranslation);
+  stats.OnPageRead(IoPurpose::kTranslation);
+  stats.OnPageWrite(IoPurpose::kPvm);
+  stats.OnSpareRead(IoPurpose::kRecovery);
+  stats.OnErase(IoPurpose::kGcMigration);
+  stats.OnLogicalWrite();
+
+  const IoCounters& c = stats.counters();
+  EXPECT_EQ(c.ReadsFor(IoPurpose::kTranslation), 2u);
+  EXPECT_EQ(c.WritesFor(IoPurpose::kPvm), 1u);
+  EXPECT_EQ(c.TotalSpareReads(), 1u);
+  EXPECT_EQ(c.TotalErases(), 1u);
+  EXPECT_EQ(c.logical_writes, 1u);
+}
+
+TEST(IoStatsTest, InternalIoExcludesApplicationIo) {
+  IoCounters c;
+  c.page_reads[static_cast<int>(IoPurpose::kUserRead)] = 10;
+  c.page_reads[static_cast<int>(IoPurpose::kPvm)] = 3;
+  c.page_writes[static_cast<int>(IoPurpose::kUserWrite)] = 20;
+  c.page_writes[static_cast<int>(IoPurpose::kGcMigration)] = 5;
+  EXPECT_EQ(c.InternalReads(), 3u);
+  EXPECT_EQ(c.InternalWrites(), 5u);
+}
+
+TEST(IoStatsTest, WaBreakdownSumsToTotal) {
+  IoCounters c;
+  c.logical_writes = 100;
+  c.page_writes[static_cast<int>(IoPurpose::kUserWrite)] = 100;
+  c.page_writes[static_cast<int>(IoPurpose::kGcMigration)] = 30;
+  c.page_reads[static_cast<int>(IoPurpose::kGcMigration)] = 30;
+  c.page_writes[static_cast<int>(IoPurpose::kTranslation)] = 20;
+  c.page_reads[static_cast<int>(IoPurpose::kTranslation)] = 25;
+  c.page_writes[static_cast<int>(IoPurpose::kPvm)] = 10;
+  c.page_reads[static_cast<int>(IoPurpose::kPvm)] = 15;
+
+  const double d = 10.0;
+  double parts = c.WriteAmplificationFor(IoPurpose::kUserWrite, d) +
+                 c.WriteAmplificationFor(IoPurpose::kGcMigration, d) +
+                 c.WriteAmplificationFor(IoPurpose::kTranslation, d) +
+                 c.WriteAmplificationFor(IoPurpose::kPvm, d);
+  EXPECT_NEAR(parts, c.WriteAmplification(d), 1e-9);
+}
+
+TEST(IoStatsTest, ZeroLogicalWritesGivesZeroWa) {
+  IoCounters c;
+  c.page_writes[static_cast<int>(IoPurpose::kPvm)] = 5;
+  EXPECT_DOUBLE_EQ(c.WriteAmplification(10.0), 0.0);
+}
+
+TEST(IoStatsTest, PurposeNamesAreDistinct) {
+  for (int i = 0; i < kNumIoPurposes; ++i) {
+    for (int j = i + 1; j < kNumIoPurposes; ++j) {
+      EXPECT_STRNE(IoPurposeName(static_cast<IoPurpose>(i)),
+                   IoPurposeName(static_cast<IoPurpose>(j)));
+    }
+  }
+}
+
+TEST(IoStatsTest, DebugStringMentionsActivePurposes) {
+  IoStats stats;
+  stats.OnPageWrite(IoPurpose::kPvm);
+  std::string s = stats.counters().DebugString();
+  EXPECT_NE(s.find("page-validity"), std::string::npos);
+  EXPECT_EQ(s.find("wear-leveling"), std::string::npos);  // silent purposes
+}
+
+TEST(IoStatsTest, ResetClearsEverything) {
+  IoStats stats;
+  stats.OnPageWrite(IoPurpose::kPvm);
+  stats.OnLogicalWrite();
+  stats.Reset();
+  EXPECT_EQ(stats.counters().TotalWrites(), 0u);
+  EXPECT_EQ(stats.counters().logical_writes, 0u);
+  EXPECT_DOUBLE_EQ(stats.elapsed_us(), 0.0);
+}
+
+}  // namespace
+}  // namespace gecko

@@ -1,0 +1,105 @@
+// Shared helpers for FTL-level tests: a factory over all five FTLs and a
+// shadow-map harness that verifies end-to-end data integrity.
+
+#ifndef GECKOFTL_TESTS_FTL_FTL_TEST_UTIL_H_
+#define GECKOFTL_TESTS_FTL_FTL_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "flash/flash_device.h"
+#include "ftl/baseline_ftls.h"
+#include "ftl/gecko_ftl.h"
+#include "sim/ftl_experiment.h"
+
+namespace gecko {
+
+inline Geometry FtlTestGeometry() {
+  Geometry g;
+  g.num_blocks = 96;
+  g.pages_per_block = 16;
+  g.page_bytes = 512;  // 128 mapping entries / tpage, V ~ 83 gecko entries
+  g.logical_ratio = 0.7;
+  return g;
+}
+
+inline std::unique_ptr<Ftl> MakeFtl(const std::string& name,
+                                    FlashDevice* device,
+                                    uint32_t cache_capacity) {
+  if (name == "GeckoFTL") {
+    return std::make_unique<GeckoFtl>(device,
+                                      GeckoFtl::DefaultConfig(cache_capacity));
+  }
+  if (name == "DFTL") {
+    return std::make_unique<DftlFtl>(device,
+                                     DftlFtl::DefaultConfig(cache_capacity));
+  }
+  if (name == "LazyFTL") {
+    return std::make_unique<LazyFtl>(device,
+                                     LazyFtl::DefaultConfig(cache_capacity));
+  }
+  if (name == "uFTL") {
+    return std::make_unique<MuFtl>(device,
+                                   MuFtl::DefaultConfig(cache_capacity));
+  }
+  if (name == "IB-FTL") {
+    return std::make_unique<IbFtl>(device,
+                                   IbFtl::DefaultConfig(cache_capacity));
+  }
+  ADD_FAILURE() << "unknown FTL " << name;
+  return nullptr;
+}
+
+/// Shadow-map harness: every write is mirrored into a host map; Verify()
+/// reads every written lpn back and compares tokens.
+class ShadowHarness {
+ public:
+  ShadowHarness(Ftl* ftl, uint64_t num_lpns) : ftl_(ftl), num_lpns_(num_lpns) {}
+
+  void Write(Lpn lpn) {
+    uint64_t token = FtlExperiment::Token(lpn, ++version_);
+    Status s = ftl_->Write(lpn, token);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    shadow_[lpn] = token;
+  }
+
+  void VerifyAll() {
+    for (const auto& [lpn, token] : shadow_) {
+      uint64_t got = 0;
+      Status s = ftl_->Read(lpn, &got);
+      ASSERT_TRUE(s.ok()) << ftl_->Name() << ": read(" << lpn
+                          << "): " << s.ToString();
+      ASSERT_EQ(got, token) << ftl_->Name() << ": wrong data for lpn " << lpn;
+    }
+  }
+
+  void VerifySample(Rng& rng, int count) {
+    if (shadow_.empty()) return;
+    std::vector<Lpn> keys;
+    keys.reserve(shadow_.size());
+    for (const auto& [lpn, token] : shadow_) keys.push_back(lpn);
+    for (int i = 0; i < count; ++i) {
+      Lpn lpn = keys[rng.Uniform(keys.size())];
+      uint64_t got = 0;
+      Status s = ftl_->Read(lpn, &got);
+      ASSERT_TRUE(s.ok()) << s.ToString();
+      ASSERT_EQ(got, shadow_[lpn]) << ftl_->Name() << " lpn " << lpn;
+    }
+  }
+
+  uint64_t num_lpns() const { return num_lpns_; }
+  size_t written() const { return shadow_.size(); }
+
+ private:
+  Ftl* ftl_;
+  uint64_t num_lpns_;
+  uint64_t version_ = 0;
+  std::unordered_map<Lpn, uint64_t> shadow_;
+};
+
+}  // namespace gecko
+
+#endif  // GECKOFTL_TESTS_FTL_FTL_TEST_UTIL_H_

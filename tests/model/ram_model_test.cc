@@ -1,0 +1,95 @@
+#include "model/ram_model.h"
+
+#include <gtest/gtest.h>
+
+namespace gecko {
+namespace {
+
+RamModelParams PaperParams() {
+  RamModelParams p;
+  p.cache_entries = 1u << 19;  // 4 MB cache at 8 bytes per entry
+  p.gecko.partition_factor =
+      LogGeckoConfig::RecommendedPartitionFactor(Geometry::PaperScale());
+  return p;
+}
+
+double ComponentBytes(const RamBreakdown& b, const std::string& name) {
+  for (const RamComponent& c : b.components) {
+    if (c.name == name) return c.bytes;
+  }
+  return -1;
+}
+
+TEST(RamModelTest, PaperScaleConstants) {
+  Geometry g = Geometry::PaperScale();
+  // Section 2: GMD ~ 1.4 MB, PVB = 64 MB at 2 TB.
+  EXPECT_NEAR(GmdBytes(g) / (1 << 20), 1.4, 0.05);
+  EXPECT_DOUBLE_EQ(RamPvbBytes(g), 64.0 * (1 << 20));
+  // BVC: 2 bytes per block = 8 MB.
+  EXPECT_DOUBLE_EQ(BvcBytes(g), 8.0 * (1 << 20));
+}
+
+TEST(RamModelTest, PvbDominatesDftlFootprint) {
+  Geometry g = Geometry::PaperScale();
+  RamBreakdown dftl = DftlRam(g, PaperParams());
+  double pvb = ComponentBytes(dftl, "PVB");
+  // "PVB accounts for 95% of all RAM-resident metadata" (Section 1) —
+  // here measured against the non-cache metadata.
+  double metadata = dftl.TotalBytes() - ComponentBytes(dftl, "LRU cache");
+  EXPECT_GT(pvb / metadata, 0.95);
+}
+
+TEST(RamModelTest, GeckoFtlCutsRamByAtLeast95Percent) {
+  Geometry g = Geometry::PaperScale();
+  RamModelParams p = PaperParams();
+  RamBreakdown dftl = DftlRam(g, p);
+  RamBreakdown gecko = GeckoFtlRam(g, p);
+  double cache = ComponentBytes(dftl, "LRU cache");
+  double dftl_meta = dftl.TotalBytes() - cache;
+  double gecko_meta = gecko.TotalBytes() - cache;
+  // The headline claim: a 95% reduction in (page-validity) RAM.
+  EXPECT_LT(gecko_meta, dftl_meta * 0.2);
+  double dftl_pvb = ComponentBytes(dftl, "PVB");
+  double gecko_pvm = ComponentBytes(gecko, "Gecko run directories") +
+                     ComponentBytes(gecko, "Gecko buffers");
+  EXPECT_LT(gecko_pvm, dftl_pvb * 0.05);
+}
+
+TEST(RamModelTest, OrderingMatchesFigure13) {
+  Geometry g = Geometry::PaperScale();
+  RamModelParams p = PaperParams();
+  std::vector<RamBreakdown> all = AllFtlRam(g, p);
+  ASSERT_EQ(all.size(), 5u);
+  auto total = [&](const std::string& name) {
+    for (const RamBreakdown& b : all) {
+      if (b.ftl == name) return b.TotalBytes();
+    }
+    ADD_FAILURE() << name;
+    return 0.0;
+  };
+  // DFTL and LazyFTL are the largest (RAM PVB); µ-FTL and GeckoFTL the
+  // smallest; IB-FTL sits in between (chain heads per block).
+  EXPECT_GT(total("DFTL"), total("IB-FTL"));
+  EXPECT_GT(total("LazyFTL"), total("IB-FTL"));
+  EXPECT_GT(total("IB-FTL"), total("uFTL"));
+  EXPECT_GT(total("IB-FTL"), total("GeckoFTL"));
+  // µ-FTL is slightly below GeckoFTL (B-tree root instead of GMD).
+  EXPECT_LT(total("uFTL"), total("GeckoFTL"));
+}
+
+TEST(RamModelTest, RamGrowsLinearlyWithCapacityForDftl) {
+  // Figure 1 (top): LazyFTL/DFTL RAM grows in proportion to capacity.
+  RamModelParams p = PaperParams();
+  Geometry small = Geometry::PaperScale();
+  Geometry big = small;
+  big.num_blocks *= 4;
+  p.gecko.partition_factor = LogGeckoConfig::RecommendedPartitionFactor(small);
+  double small_meta =
+      DftlRam(small, p).TotalBytes() - p.cache_entries * p.cache_entry_bytes;
+  double big_meta =
+      DftlRam(big, p).TotalBytes() - p.cache_entries * p.cache_entry_bytes;
+  EXPECT_NEAR(big_meta / small_meta, 4.0, 0.1);
+}
+
+}  // namespace
+}  // namespace gecko

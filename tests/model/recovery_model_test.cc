@@ -1,0 +1,106 @@
+#include "model/recovery_model.h"
+
+#include <gtest/gtest.h>
+
+namespace gecko {
+namespace {
+
+RamModelParams PaperParams() {
+  RamModelParams p;
+  p.cache_entries = 1u << 19;
+  p.gecko.partition_factor =
+      LogGeckoConfig::RecommendedPartitionFactor(Geometry::PaperScale());
+  return p;
+}
+
+double TotalSeconds(const RecoveryBreakdown& b) {
+  return b.TotalMicros(LatencyModel()) / 1e6;
+}
+
+TEST(RecoveryModelTest, BlockScanSharedByAll) {
+  Geometry g = Geometry::PaperScale();
+  RamModelParams p = PaperParams();
+  for (const RecoveryBreakdown& b : AllFtlRecovery(g, p)) {
+    ASSERT_FALSE(b.steps.empty());
+    EXPECT_EQ(b.steps[0].cost.spare_reads, g.num_blocks) << b.ftl;
+  }
+}
+
+TEST(RecoveryModelTest, BatteryMarksOnDftlAndMuFtl) {
+  Geometry g = Geometry::PaperScale();
+  RamModelParams p = PaperParams();
+  auto has_battery = [](const RecoveryBreakdown& b) {
+    for (const auto& s : b.steps) {
+      if (s.battery) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_battery(DftlRecovery(g, p)));
+  EXPECT_TRUE(has_battery(MuFtlRecovery(g, p)));
+  EXPECT_FALSE(has_battery(LazyFtlRecovery(g, p)));
+  EXPECT_FALSE(has_battery(IbFtlRecovery(g, p)));
+  EXPECT_FALSE(has_battery(GeckoFtlRecovery(g, p)));
+}
+
+TEST(RecoveryModelTest, GeckoBeatsBatterylessBaselinesByAtLeast51Percent) {
+  // The paper's headline: at least a 51% reduction in recovery time.
+  Geometry g = Geometry::PaperScale();
+  RamModelParams p = PaperParams();
+  double gecko = TotalSeconds(GeckoFtlRecovery(g, p));
+  double lazy = TotalSeconds(LazyFtlRecovery(g, p));
+  double ib = TotalSeconds(IbFtlRecovery(g, p));
+  EXPECT_LT(gecko, lazy * 0.49);
+  EXPECT_LT(gecko, ib * 0.49);
+}
+
+TEST(RecoveryModelTest, LazyFtlBottlenecksMatchFigure13) {
+  Geometry g = Geometry::PaperScale();
+  RecoveryBreakdown lazy = LazyFtlRecovery(g, PaperParams());
+  LatencyModel lat;
+  double pvb = 0, sync = 0, total = 0;
+  for (const auto& s : lazy.steps) {
+    double us = s.cost.Micros(lat);
+    total += us;
+    if (s.name.rfind("PVB", 0) == 0) pvb = us;
+    if (s.name.find("synchronize") != std::string::npos) sync = us;
+  }
+  // The two bottlenecks the paper calls out: the translation-table scan
+  // for the PVB and synchronizing dirty entries before resuming.
+  EXPECT_GT((pvb + sync) / total, 0.7);
+}
+
+TEST(RecoveryModelTest, IbFtlLogScanIsItsBottleneck) {
+  Geometry g = Geometry::PaperScale();
+  RecoveryBreakdown ib = IbFtlRecovery(g, PaperParams());
+  LatencyModel lat;
+  double log_scan = 0;
+  for (const auto& s : ib.steps) {
+    if (s.name.rfind("PVL", 0) == 0) log_scan = s.cost.Micros(lat);
+  }
+  EXPECT_GT(log_scan / ib.TotalMicros(lat), 0.4);
+}
+
+TEST(RecoveryModelTest, RecoveryGrowsWithCapacity) {
+  // Figure 1 (bottom): recovery time grows toward tens of seconds at
+  // multi-terabyte capacities.
+  RamModelParams p = PaperParams();
+  Geometry tb2 = Geometry::PaperScale();
+  Geometry gb256 = tb2;
+  gb256.num_blocks = tb2.num_blocks / 8;
+  double small = TotalSeconds(LazyFtlRecovery(gb256, p));
+  double large = TotalSeconds(LazyFtlRecovery(tb2, p));
+  EXPECT_GT(large, small);
+  EXPECT_GT(large, 30.0);  // impractical at 2 TB (Section 1: tens of s)
+}
+
+TEST(RecoveryModelTest, GeckoDefersSynchronizationEntirely) {
+  Geometry g = Geometry::PaperScale();
+  RecoveryBreakdown gecko = GeckoFtlRecovery(g, PaperParams());
+  for (const auto& s : gecko.steps) {
+    EXPECT_EQ(s.cost.page_writes, 0u)
+        << s.name << ": GeckoRec performs no flash writes during recovery";
+  }
+}
+
+}  // namespace
+}  // namespace gecko

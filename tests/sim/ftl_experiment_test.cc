@@ -1,0 +1,55 @@
+#include "sim/ftl_experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "ftl/gecko_ftl.h"
+#include "workload/workload.h"
+
+namespace gecko {
+namespace {
+
+Geometry SmallGeometry() {
+  Geometry g;
+  g.num_blocks = 96;
+  g.pages_per_block = 16;
+  g.page_bytes = 512;
+  g.logical_ratio = 0.7;
+  return g;
+}
+
+TEST(FtlExperimentTest, TokensAreDistinctPerVersion) {
+  EXPECT_NE(FtlExperiment::Token(1, 1), FtlExperiment::Token(1, 2));
+  EXPECT_NE(FtlExperiment::Token(1, 1), FtlExperiment::Token(2, 1));
+  EXPECT_EQ(FtlExperiment::Token(7, 9), FtlExperiment::Token(7, 9));
+}
+
+TEST(FtlExperimentTest, FillWritesEveryPageOnce) {
+  FlashDevice device(SmallGeometry());
+  GeckoFtl ftl(&device, GeckoFtl::DefaultConfig(128));
+  FtlExperiment::Fill(ftl, device.geometry().NumLogicalPages());
+  EXPECT_EQ(device.stats().counters().logical_writes,
+            device.geometry().NumLogicalPages());
+  uint64_t payload = 0;
+  ASSERT_TRUE(ftl.Read(0, &payload).ok());
+  EXPECT_EQ(payload, FtlExperiment::Token(0, 0));
+}
+
+TEST(FtlExperimentTest, MeasureWaCoversOnlyMeasurementWindow) {
+  FlashDevice device(SmallGeometry());
+  GeckoFtl ftl(&device, GeckoFtl::DefaultConfig(128));
+  FtlExperiment::Fill(ftl, device.geometry().NumLogicalPages());
+  UniformWorkload workload(device.geometry().NumLogicalPages(), 1);
+  WaBreakdown wa =
+      FtlExperiment::MeasureWa(ftl, device, workload, 2000, 3000);
+  // Under GC pressure every category is active and positive.
+  EXPECT_GT(wa.total, 0.0);
+  EXPECT_GE(wa.user_and_gc, 0.0);
+  EXPECT_GT(wa.translation, 0.0);
+  EXPECT_GT(wa.page_validity, 0.0);
+  // The breakdown never exceeds the total.
+  EXPECT_LE(wa.user_and_gc + wa.translation + wa.page_validity,
+            wa.total + 1e-9);
+}
+
+}  // namespace
+}  // namespace gecko

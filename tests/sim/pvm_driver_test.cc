@@ -1,0 +1,105 @@
+#include "sim/pvm_driver.h"
+
+#include <gtest/gtest.h>
+
+#include "flash/simple_allocator.h"
+#include "pvm/flash_pvb.h"
+#include "pvm/gecko_store.h"
+#include "pvm/ram_pvb.h"
+
+namespace gecko {
+namespace {
+
+Geometry SmallGeometry() {
+  Geometry g;
+  g.num_blocks = 48;
+  g.pages_per_block = 16;
+  g.page_bytes = 256;
+  g.logical_ratio = 0.7;
+  return g;
+}
+
+constexpr uint32_t kUserBlocks = 32;
+
+TEST(PvmDriverTest, FillWritesEveryLogicalPage) {
+  FlashDevice device(SmallGeometry());
+  RamPvb store(SmallGeometry());
+  PvmDriver driver(&device, &store, kUserBlocks, 0.7);
+  driver.Fill();
+  EXPECT_EQ(device.stats().counters().WritesFor(IoPurpose::kUserWrite),
+            driver.num_lpns());
+}
+
+TEST(PvmDriverTest, UpdatesTriggerStoreAndGc) {
+  FlashDevice device(SmallGeometry());
+  RamPvb store(SmallGeometry());
+  PvmDriver driver(&device, &store, kUserBlocks, 0.7);
+  driver.Fill();
+  UniformWorkload workload(driver.num_lpns(), 1);
+  driver.RunUpdates(4000, workload);
+  EXPECT_EQ(driver.updates_issued(), 4000u + 0u);  // one per update write
+  EXPECT_GT(driver.gc_operations(), 0u);
+}
+
+TEST(PvmDriverTest, GeckoStoreSurvivesDriverChurn) {
+  // The driver validates every GC query against its exact oracle, so a
+  // long run is itself a correctness proof for the store.
+  FlashDevice device(SmallGeometry());
+  SimpleAllocator allocator(&device, kUserBlocks,
+                            SmallGeometry().num_blocks - kUserBlocks);
+  GeckoStore store(SmallGeometry(), LogGeckoConfig{}, &device, &allocator);
+  PvmDriver driver(&device, &store, kUserBlocks, 0.7);
+  driver.Fill();
+  UniformWorkload workload(driver.num_lpns(), 2);
+  driver.RunUpdates(10000, workload);
+  EXPECT_GT(driver.gc_operations(), 10u);
+}
+
+TEST(PvmDriverTest, FlashPvbCostsMatchSection51Shape) {
+  FlashDevice device(SmallGeometry());
+  SimpleAllocator allocator(&device, kUserBlocks,
+                            SmallGeometry().num_blocks - kUserBlocks);
+  FlashPvb store(SmallGeometry(), &device, &allocator);
+  PvmDriver driver(&device, &store, kUserBlocks, 0.7);
+  driver.Fill();
+  IoCounters before = device.stats().Snapshot();
+  UniformWorkload workload(driver.num_lpns(), 3);
+  driver.RunUpdates(3000, workload);
+  IoCounters delta = device.stats().Snapshot() - before;
+  // Flash PVB: ~1 metadata write and ~1 read per update -> WA ~ 1.1 on the
+  // kPvm purpose (Figure 9). At this tiny scale GC erases also pay a
+  // read-modify-write each, adding a little on top.
+  double wa = delta.WriteAmplificationFor(IoPurpose::kPvm, 10.0);
+  EXPECT_NEAR(wa, 1.1, 0.25);
+  EXPECT_GT(wa, 1.0);
+}
+
+TEST(PvmDriverTest, GeckoPvmWaFarBelowFlashPvb) {
+  auto run = [](auto make_store) {
+    FlashDevice device(SmallGeometry());
+    SimpleAllocator allocator(&device, kUserBlocks,
+                              SmallGeometry().num_blocks - kUserBlocks);
+    auto store = make_store(device, allocator);
+    PvmDriver driver(&device, store.get(), kUserBlocks, 0.7);
+    driver.Fill();
+    IoCounters before = device.stats().Snapshot();
+    UniformWorkload workload(driver.num_lpns(), 4);
+    driver.RunUpdates(3000, workload);
+    IoCounters delta = device.stats().Snapshot() - before;
+    return delta.WriteAmplificationFor(IoPurpose::kPvm, 10.0);
+  };
+  double pvb_wa = run([](FlashDevice& d, SimpleAllocator& a) {
+    return std::unique_ptr<PageValidityStore>(
+        new FlashPvb(SmallGeometry(), &d, &a));
+  });
+  double gecko_wa = run([](FlashDevice& d, SimpleAllocator& a) {
+    return std::unique_ptr<PageValidityStore>(
+        new GeckoStore(SmallGeometry(), LogGeckoConfig{}, &d, &a));
+  });
+  // Section 5.1: Logarithmic Gecko outperforms the flash PVB under all
+  // tunings; at paper scale by ~98%, at this tiny scale by a wide margin.
+  EXPECT_LT(gecko_wa, pvb_wa * 0.5);
+}
+
+}  // namespace
+}  // namespace gecko

@@ -1,0 +1,129 @@
+#include "util/bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace gecko {
+namespace {
+
+TEST(BitmapTest, StartsEmpty) {
+  Bitmap b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.None());
+  EXPECT_FALSE(b.Any());
+  for (size_t i = 0; i < 100; ++i) EXPECT_FALSE(b.Test(i));
+}
+
+TEST(BitmapTest, SetAndClear) {
+  Bitmap b(70);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(69);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(69));
+  EXPECT_EQ(b.Count(), 4u);
+  b.Clear(63);
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.Count(), 3u);
+}
+
+TEST(BitmapTest, Reset) {
+  Bitmap b(128);
+  for (size_t i = 0; i < 128; i += 3) b.Set(i);
+  ASSERT_GT(b.Count(), 0u);
+  b.Reset();
+  EXPECT_EQ(b.Count(), 0u);
+}
+
+TEST(BitmapTest, OrWithMergesBits) {
+  Bitmap a(96), b(96);
+  a.Set(1);
+  a.Set(65);
+  b.Set(2);
+  b.Set(65);
+  a.OrWith(b);
+  EXPECT_TRUE(a.Test(1));
+  EXPECT_TRUE(a.Test(2));
+  EXPECT_TRUE(a.Test(65));
+  EXPECT_EQ(a.Count(), 3u);
+  // The source is unchanged.
+  EXPECT_EQ(b.Count(), 2u);
+}
+
+TEST(BitmapTest, Equality) {
+  Bitmap a(32), b(32), c(33);
+  a.Set(5);
+  b.Set(5);
+  EXPECT_TRUE(a == b);
+  b.Set(6);
+  EXPECT_FALSE(a == b);
+  EXPECT_FALSE(a == c);  // different sizes
+}
+
+TEST(BitmapTest, ChunkRoundTrip) {
+  Bitmap full(128);
+  full.Set(3);
+  full.Set(32);
+  full.Set(33);
+  full.Set(127);
+  Bitmap chunk = full.ExtractChunk(32, 32);
+  EXPECT_EQ(chunk.size(), 32u);
+  EXPECT_TRUE(chunk.Test(0));
+  EXPECT_TRUE(chunk.Test(1));
+  EXPECT_EQ(chunk.Count(), 2u);
+
+  Bitmap rebuilt(128);
+  rebuilt.CopyChunk(32, chunk);
+  EXPECT_TRUE(rebuilt.Test(32));
+  EXPECT_TRUE(rebuilt.Test(33));
+  EXPECT_EQ(rebuilt.Count(), 2u);
+}
+
+TEST(BitmapTest, CopyChunkDoesNotClearExistingBits) {
+  Bitmap b(64);
+  b.Set(10);
+  Bitmap chunk(16);
+  chunk.Set(0);
+  b.CopyChunk(16, chunk);
+  EXPECT_TRUE(b.Test(10));
+  EXPECT_TRUE(b.Test(16));
+}
+
+class BitmapSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BitmapSizeTest, CountMatchesReferenceAcrossWordBoundaries) {
+  const size_t n = GetParam();
+  Bitmap b(n);
+  std::mt19937_64 rng(n);
+  size_t expected = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (rng() % 2 == 0) {
+      if (!b.Test(i)) ++expected;
+      b.Set(i);
+    }
+  }
+  EXPECT_EQ(b.Count(), expected);
+  for (size_t i = 0; i < n; ++i) {
+    Bitmap single = b.ExtractChunk(i, 1);
+    EXPECT_EQ(single.Test(0), b.Test(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitmapSizeTest,
+                         ::testing::Values(1, 7, 63, 64, 65, 100, 128, 129,
+                                           255, 1024));
+
+TEST(BitmapTest, DebugStringShowsBits) {
+  Bitmap b(4);
+  b.Set(1);
+  b.Set(3);
+  EXPECT_EQ(b.DebugString(), "0101");
+}
+
+}  // namespace
+}  // namespace gecko

@@ -1,0 +1,74 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gecko {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(1000), b.Uniform(1000));
+  }
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(ZipfTest, SkewConcentratesOnSmallKeys) {
+  Rng rng(42);
+  ZipfGenerator zipf(1000, 0.99);
+  std::vector<int> counts(1000, 0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Next(rng)];
+  // The head of the distribution must receive far more than its uniform
+  // share (10 of 1000 keys would get ~1% uniformly; expect > 10%).
+  int head = 0;
+  for (int i = 0; i < 10; ++i) head += counts[i];
+  EXPECT_GT(head, n / 10);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniformish) {
+  Rng rng(42);
+  ZipfGenerator zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Next(rng)];
+  for (int c : counts) {
+    EXPECT_GT(c, n / 20);  // every key gets a meaningful share
+  }
+}
+
+TEST(ZipfTest, AllValuesInRange) {
+  Rng rng(1);
+  ZipfGenerator zipf(37, 1.2);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(zipf.Next(rng), 37u);
+  }
+}
+
+}  // namespace
+}  // namespace gecko

@@ -1,0 +1,41 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace gecko {
+namespace {
+
+TEST(TablePrinterTest, FormatsNumbers) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(uint64_t{12345}), "12345");
+  EXPECT_EQ(TablePrinter::Fmt(-7), "-7");
+}
+
+TEST(TablePrinterTest, FormatsBytesWithAdaptiveUnits) {
+  EXPECT_EQ(TablePrinter::FmtBytes(512), "512.00 B");
+  EXPECT_EQ(TablePrinter::FmtBytes(2048), "2.00 KB");
+  EXPECT_EQ(TablePrinter::FmtBytes(64.0 * (1 << 20)), "64.00 MB");
+  EXPECT_EQ(TablePrinter::FmtBytes(1.4 * (1 << 30)), "1.40 GB");
+}
+
+TEST(TablePrinterTest, FormatsDurationsWithAdaptiveUnits) {
+  EXPECT_EQ(TablePrinter::FmtMicros(3.0), "3.0 us");
+  EXPECT_EQ(TablePrinter::FmtMicros(1500.0), "1.50 ms");
+  EXPECT_EQ(TablePrinter::FmtMicros(2.5e6), "2.50 s");
+  EXPECT_EQ(TablePrinter::FmtMicros(90e6), "1.50 min");
+}
+
+TEST(TablePrinterDeathTest, RowWidthMustMatchHeader) {
+  TablePrinter t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "");
+}
+
+TEST(TablePrinterTest, PrintsWithoutCrashing) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"a-much-longer-name", "2"});
+  t.Print();  // smoke: column widths adapt, no aborts
+}
+
+}  // namespace
+}  // namespace gecko

@@ -1,0 +1,79 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gecko {
+namespace {
+
+TEST(WorkloadTest, UniformStaysInRange) {
+  UniformWorkload w(100, 1);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LT(w.NextLpn(), 100u);
+  }
+}
+
+TEST(WorkloadTest, UniformIsDeterministicPerSeed) {
+  UniformWorkload a(1000, 5), b(1000, 5), c(1000, 6);
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    Lpn x = a.NextLpn();
+    EXPECT_EQ(x, b.NextLpn());
+    if (x != c.NextLpn()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(WorkloadTest, UniformCoversTheSpace) {
+  UniformWorkload w(16, 2);
+  std::vector<bool> seen(16, false);
+  for (int i = 0; i < 1000; ++i) seen[w.NextLpn()] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(WorkloadTest, SequentialWrapsAround) {
+  SequentialWorkload w(3);
+  EXPECT_EQ(w.NextLpn(), 0u);
+  EXPECT_EQ(w.NextLpn(), 1u);
+  EXPECT_EQ(w.NextLpn(), 2u);
+  EXPECT_EQ(w.NextLpn(), 0u);
+}
+
+TEST(WorkloadTest, ZipfConcentratesOnHead) {
+  ZipfWorkload w(1000, 0.99, 3);
+  int head = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (w.NextLpn() < 20) ++head;
+  }
+  EXPECT_GT(head, n / 8);  // 2% of keys get far more than 2% of accesses
+}
+
+TEST(WorkloadTest, HotColdRespectsAccessFractions) {
+  HotColdWorkload w(1000, 0.1, 0.9, 4);
+  int hot = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (w.NextLpn() < 100) ++hot;
+  }
+  double hot_fraction = static_cast<double>(hot) / n;
+  EXPECT_NEAR(hot_fraction, 0.9, 0.03);
+}
+
+TEST(WorkloadTest, HotColdStaysInRange) {
+  HotColdWorkload w(77, 0.25, 0.5, 9);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LT(w.NextLpn(), 77u);
+  }
+}
+
+TEST(WorkloadTest, NamesAreStable) {
+  EXPECT_STREQ(UniformWorkload(10, 1).Name(), "uniform");
+  EXPECT_STREQ(SequentialWorkload(10).Name(), "sequential");
+  EXPECT_STREQ(ZipfWorkload(10, 1.0, 1).Name(), "zipf");
+  EXPECT_STREQ(HotColdWorkload(10, 0.5, 0.5, 1).Name(), "hot-cold");
+}
+
+}  // namespace
+}  // namespace gecko
