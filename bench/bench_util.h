@@ -12,10 +12,12 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "flash/flash_device.h"
 #include "flash/simple_allocator.h"
+#include "ftl/ftl.h"
 #include "pvm/flash_pvb.h"
 #include "pvm/gecko_store.h"
 #include "pvm/pvl.h"
@@ -26,6 +28,31 @@
 
 namespace gecko {
 namespace bench {
+
+/// Appends one row per FtlCounters field to `table` (two columns: name,
+/// value), so benches can print batching efficacy alongside the IO
+/// breakdown.
+inline void AddFtlCounterRows(TablePrinter* table, const FtlCounters& c) {
+  const std::pair<const char*, uint64_t> items[] = {
+      {"writes", c.writes},
+      {"reads", c.reads},
+      {"trims", c.trims},
+      {"flushes", c.flushes},
+      {"batches", c.batches},
+      {"batched_pages", c.batched_pages},
+      {"sync_ops", c.sync_ops},
+      {"aborted_sync_ops", c.aborted_sync_ops},
+      {"checkpoints", c.checkpoints},
+      {"gc_collections", c.gc_collections},
+      {"gc_migrations", c.gc_migrations},
+      {"uip_detections", c.uip_detections},
+      {"cache_hits", c.cache_hits},
+      {"cache_misses", c.cache_misses},
+  };
+  for (const auto& [name, value] : items) {
+    table->AddRow({name, TablePrinter::Fmt(value)});
+  }
+}
 
 /// Which page-validity scheme a stand-alone experiment drives.
 enum class StoreKind { kRamPvb, kFlashPvb, kPvl, kGecko };

@@ -11,6 +11,8 @@
 #include <cstdio>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "flash/flash_device.h"
 #include "ftl/gecko_ftl.h"
@@ -43,6 +45,31 @@ class RecordStore {
     return ftl_->Read(static_cast<Lpn>(record_id), value);
   }
 
+  /// Deleting a record is a TRIM: the FTL invalidates the page through
+  /// its page-validity machinery without writing new data, and the
+  /// reclaimed space feeds garbage collection.
+  Status Delete(uint64_t record_id) {
+    if (record_id >= capacity_) {
+      return Status::InvalidArgument("record id beyond capacity");
+    }
+    return ftl_->Trim(static_cast<Lpn>(record_id));
+  }
+
+  /// Group commit: one scatter-gather request lands a whole write batch,
+  /// letting the FTL update each touched translation page once.
+  Status PutBatch(const std::vector<std::pair<uint64_t, uint64_t>>& records) {
+    IoRequest request(IoOp::kWrite);
+    for (const auto& [record_id, value] : records) {
+      if (record_id >= capacity_) {
+        return Status::InvalidArgument("record id beyond capacity");
+      }
+      request.Add(static_cast<Lpn>(record_id), value);
+    }
+    IoResult result;
+    Status s = ftl_->Submit(request, &result);
+    return s.ok() ? result.FirstError() : s;
+  }
+
  private:
   Ftl* ftl_;
   uint64_t capacity_;
@@ -62,26 +89,51 @@ int main() {
   RecordStore store(&ftl, geometry.NumLogicalPages());
   std::map<uint64_t, uint64_t> shadow;  // host-side ground truth
 
-  // OLTP-ish workload: skewed updates over 4k keys, periodic crashes.
+  // OLTP-ish workload: skewed group-committed updates over 4k keys with a
+  // delete mix, periodic crashes.
   Rng rng(7);
   ZipfGenerator zipf(4000, 0.9);
   const int kOps = 60000;
+  const int kGroup = 16;
   int crashes = 0;
-  for (int i = 0; i < kOps; ++i) {
-    uint64_t key = zipf.Next(rng);
-    uint64_t value = (uint64_t{static_cast<uint64_t>(i)} << 20) | key;
-    if (!store.Put(key, value).ok()) {
-      std::printf("put failed at op %d\n", i);
+  uint64_t deletes = 0;
+  for (int i = 0; i < kOps; i += kGroup) {
+    std::vector<std::pair<uint64_t, uint64_t>> group;
+    auto commit_group = [&]() {
+      if (group.empty()) return true;
+      bool ok = store.PutBatch(group).ok();
+      group.clear();
+      return ok;
+    };
+    for (int j = 0; j < kGroup; ++j) {
+      uint64_t key = zipf.Next(rng);
+      if (rng.Bernoulli(0.05)) {  // 5% deletes
+        // Flush the buffered group first so a write-then-delete of the
+        // same key keeps its submission order.
+        if (!commit_group() || !store.Delete(key).ok()) {
+          std::printf("delete failed at op %d\n", i + j);
+          return 1;
+        }
+        shadow.erase(key);
+        ++deletes;
+        continue;
+      }
+      uint64_t value = (uint64_t{static_cast<uint64_t>(i + j)} << 20) | key;
+      group.emplace_back(key, value);
+      shadow[key] = value;
+    }
+    if (!commit_group()) {
+      std::printf("put batch failed at op %d\n", i);
       return 1;
     }
-    shadow[key] = value;
-    if (i > 0 && i % 20000 == 0) {
+    if (i > 0 && i % 20000 < kGroup) {
       ftl.CrashAndRecover();
       ++crashes;
     }
   }
 
-  // Verify every acknowledged write survived the crashes.
+  // Verify every acknowledged write survived the crashes — and every
+  // acknowledged delete stayed deleted.
   uint64_t checked = 0;
   for (const auto& [key, expected] : shadow) {
     uint64_t got = 0;
@@ -93,10 +145,20 @@ int main() {
     }
     ++checked;
   }
+  for (uint64_t key = 0; key < 4000; ++key) {
+    if (shadow.count(key) != 0) continue;
+    uint64_t got = 0;
+    Status s = store.Get(key, &got);
+    if (s.ok()) {
+      std::printf("RESURRECTED deleted key %llu\n", (unsigned long long)key);
+      return 1;
+    }
+  }
 
-  std::printf("kv_store: %d ops over %zu records, %d power failures, "
-              "%llu values verified intact\n",
-              kOps, shadow.size(), crashes, (unsigned long long)checked);
+  std::printf("kv_store: %d ops (%llu deletes) over %zu records, %d power "
+              "failures, %llu values verified intact\n",
+              kOps, (unsigned long long)deletes, shadow.size(), crashes,
+              (unsigned long long)checked);
   std::printf("write-amplification: %.3f, GC collections: %llu\n",
               device.stats().counters().WriteAmplification(
                   device.stats().latency().Delta()),

@@ -14,6 +14,7 @@
 #include "flash/flash_device.h"
 #include "ftl/baseline_ftls.h"
 #include "ftl/gecko_ftl.h"
+#include "sim/ftl_experiment.h"
 #include "util/table_printer.h"
 #include "workload/workload.h"
 
@@ -51,12 +52,18 @@ int main() {
         std::string("IB-FTL"), std::string("GeckoFTL")}) {
     FlashDevice device(geometry);
     auto ftl = Make(name, &device);
-    // Same workload for everyone: fill, then 10k uniform updates.
-    for (Lpn lpn = 0; lpn < geometry.NumLogicalPages(); ++lpn) {
-      ftl->Write(lpn, lpn);
-    }
+    // Same workload for everyone: batched fill, 10k uniform updates
+    // submitted as 32-page scatter-gather requests, and a discarded range
+    // whose trim must survive the crash.
+    FtlExperiment::Fill(*ftl, geometry.NumLogicalPages(), /*batch_size=*/32);
     UniformWorkload workload(geometry.NumLogicalPages(), 3);
-    for (int i = 0; i < 10000; ++i) ftl->Write(workload.NextLpn(), i);
+    for (int i = 0; i < 10000; i += 32) {
+      IoRequest update(IoOp::kWrite);
+      for (int j = 0; j < 32; ++j) update.Add(workload.NextLpn(), i + j);
+      ftl->Submit(update, nullptr);
+    }
+    IoRequest trim = IoRequest::Trim({2000, 2001, 2002, 2003});
+    ftl->Submit(trim, nullptr);
 
     RecoveryReport report = ftl->CrashAndRecover();
     bool battery = name == "DFTL" || name == "uFTL";
@@ -66,11 +73,16 @@ int main() {
                   TablePrinter::Fmt(report.TotalPageWrites()),
                   TablePrinter::FmtMicros(report.TotalMicros(latency))});
 
-    // Data must be intact either way.
+    // Data must be intact either way — and the discard must hold.
     uint64_t payload = 0;
     Status s = ftl->Read(100, &payload);
     if (!s.ok()) {
       std::printf("%s lost data: %s\n", name.c_str(), s.ToString().c_str());
+      return 1;
+    }
+    if (ftl->Read(2001, &payload).ok()) {
+      std::printf("%s resurrected a trimmed page across the crash\n",
+                  name.c_str());
       return 1;
     }
   }

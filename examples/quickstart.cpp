@@ -1,5 +1,6 @@
-// Quickstart: create a simulated flash device, mount GeckoFTL on it, write
-// and read logical pages, survive a power failure, and inspect statistics.
+// Quickstart: create a simulated flash device, mount GeckoFTL on it,
+// submit batched scatter-gather I/O (write / read / trim / flush), survive
+// a power failure, and inspect statistics.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
@@ -26,27 +27,51 @@ int main() {
   //    lives in flash inside Logarithmic Gecko; checkpoints bound recovery.
   GeckoFtl ftl(&device, GeckoFtl::DefaultConfig(/*cache_capacity=*/256));
 
-  // 3. Write every logical page once, then update a hot subset.
+  // 3. Fill the device with batched scatter-gather requests — the FTL
+  //    services each multi-page request as a unit, amortizing its
+  //    translation-table and page-validity updates across the batch —
+  //    then update a hot subset, one request per round.
   const uint64_t num_lpns = geometry.NumLogicalPages();
   std::printf("logical pages: %llu\n", (unsigned long long)num_lpns);
-  for (Lpn lpn = 0; lpn < num_lpns; ++lpn) {
-    Status s = ftl.Write(lpn, /*payload=*/0x1000 + lpn);
-    if (!s.ok()) {
-      std::printf("write failed: %s\n", s.ToString().c_str());
+  const uint32_t kFillBatch = 64;
+  for (uint64_t base = 0; base < num_lpns; base += kFillBatch) {
+    IoRequest fill(IoOp::kWrite);
+    for (uint64_t lpn = base; lpn < base + kFillBatch && lpn < num_lpns;
+         ++lpn) {
+      fill.Add(static_cast<Lpn>(lpn), /*payload=*/0x1000 + lpn);
+    }
+    IoResult result;
+    Status s = ftl.Submit(fill, &result);
+    if (!s.ok() || !result.AllOk()) {
+      std::printf("fill failed: %s\n", result.FirstError().ToString().c_str());
       return 1;
     }
   }
   for (int round = 0; round < 20; ++round) {
+    IoRequest update(IoOp::kWrite);
     for (Lpn lpn = 0; lpn < 500; ++lpn) {
-      ftl.Write(lpn, 0x2000 + round * 1000 + lpn);
+      update.Add(lpn, 0x2000 + round * 1000 + lpn);
     }
+    ftl.Submit(update, nullptr);
   }
 
-  // 4. Read back.
-  uint64_t payload = 0;
-  ftl.Read(42, &payload);
+  // 4. A scatter-gather read resolves all extents through one request.
+  IoRequest read = IoRequest::Read({42, 43, 44});
+  IoResult rres;
+  ftl.Submit(read, &rres);
+  uint64_t payload = rres.payloads[0];
   std::printf("lpn 42 -> %#llx (expect 0x%x)\n", (unsigned long long)payload,
               0x2000 + 19 * 1000 + 42);
+
+  // 4b. Trim discards logical pages without writing new data — the one
+  //     host command that exercises the page-validity machinery directly —
+  //     and Flush makes every volatile mapping durable.
+  IoRequest trim = IoRequest::Trim({400, 401, 402});
+  ftl.Submit(trim, nullptr);
+  ftl.Flush();
+  Status t = ftl.Read(400, &payload);
+  std::printf("lpn 400 after trim -> %s (expect NOT_FOUND)\n",
+              t.ToString().c_str());
 
   // 5. Pull the plug. All RAM-resident state is lost; GeckoRec rebuilds it
   //    from flash (Appendix C), deferring synchronization work until after
@@ -63,10 +88,13 @@ int main() {
   std::printf("total modeled recovery time: %.2f ms\n",
               report.TotalMicros(latency) / 1000.0);
 
-  // 6. Data is intact.
+  // 6. Data is intact — and the trim is still in force.
   ftl.Read(42, &payload);
   std::printf("\nafter recovery, lpn 42 -> %#llx\n",
               (unsigned long long)payload);
+  t = ftl.Read(400, &payload);
+  std::printf("after recovery, lpn 400 -> %s (still NOT_FOUND)\n",
+              t.ToString().c_str());
 
   // 7. Statistics.
   const IoCounters& io = device.stats().counters();
@@ -78,6 +106,11 @@ int main() {
               (unsigned long long)ftl.counters().gc_collections,
               (unsigned long long)ftl.counters().uip_detections,
               (unsigned long long)ftl.counters().checkpoints);
+  std::printf("batches: %llu (%llu pages), trims: %llu, flushes: %llu\n",
+              (unsigned long long)ftl.counters().batches,
+              (unsigned long long)ftl.counters().batched_pages,
+              (unsigned long long)ftl.counters().trims,
+              (unsigned long long)ftl.counters().flushes);
   std::printf("Gecko levels: %u, runs: %u, flash pages: %llu\n",
               ftl.gecko().NumLevels(), ftl.gecko().NumLiveRuns(),
               (unsigned long long)ftl.gecko().FlashPages());

@@ -49,6 +49,7 @@ IoCounters IoCounters::operator-(const IoCounters& other) const {
   }
   out.logical_writes = logical_writes - other.logical_writes;
   out.logical_reads = logical_reads - other.logical_reads;
+  out.logical_trims = logical_trims - other.logical_trims;
   return out;
 }
 
@@ -74,7 +75,8 @@ double IoCounters::WriteAmplificationFor(IoPurpose p, double delta) const {
 std::string IoCounters::DebugString() const {
   std::ostringstream os;
   os << "logical_writes=" << logical_writes
-     << " logical_reads=" << logical_reads;
+     << " logical_reads=" << logical_reads
+     << " logical_trims=" << logical_trims;
   for (int i = 0; i < kNumIoPurposes; ++i) {
     if (page_reads[i] == 0 && page_writes[i] == 0 && spare_reads[i] == 0 &&
         erases[i] == 0) {

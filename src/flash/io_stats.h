@@ -42,6 +42,7 @@ struct IoCounters {
   std::array<uint64_t, kNumIoPurposes> erases{};
   uint64_t logical_writes = 0;  // application-level page updates
   uint64_t logical_reads = 0;
+  uint64_t logical_trims = 0;   // host trim/discard commands, per page
 
   uint64_t TotalReads() const;
   uint64_t TotalWrites() const;
@@ -97,6 +98,7 @@ class IoStats {
   }
   void OnLogicalWrite() { ++counters_.logical_writes; }
   void OnLogicalRead() { ++counters_.logical_reads; }
+  void OnLogicalTrim() { ++counters_.logical_trims; }
 
   const IoCounters& counters() const { return counters_; }
   const LatencyModel& latency() const { return latency_; }

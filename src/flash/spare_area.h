@@ -27,6 +27,12 @@ struct SpareArea {
   /// Global write sequence number; assigned by the device at program time
   /// and used as the timestamp in all recovery algorithms (Appendix C).
   uint64_t seq = 0;
+  /// User pages only: this page is a trim tombstone. A trim writes a
+  /// tombstone page and repoints the mapping at it, exactly like a write,
+  /// so every invariant of the write path (UIP identification, GC checks,
+  /// backward-scan recovery) covers trims for free; reads of a mapping
+  /// that lands on a tombstone return NotFound.
+  bool tombstone = false;
   /// Erase count of the block at last erase, persisted per Appendix D.
   uint16_t erase_count = 0;
 

@@ -1,6 +1,7 @@
 #include "ftl/base_ftl.h"
 
 #include <algorithm>
+#include <map>
 
 namespace gecko {
 
@@ -18,22 +19,97 @@ BaseFtl::BaseFtl(FlashDevice* device, const FtlConfig& config)
 }
 
 // ---------------------------------------------------------------------------
-// Application writes and reads (Section 4, "Serving Application ...").
+// Request servicing (Section 4, "Serving Application ...", extended to
+// batched scatter-gather requests).
 // ---------------------------------------------------------------------------
 
-Status BaseFtl::Write(Lpn lpn, uint64_t payload) {
+Status BaseFtl::Submit(IoRequest& request, IoResult* result) {
+  IoResult scratch;
+  IoResult& res = result != nullptr ? *result : scratch;
+  res = IoResult();
+
+  const size_t n = request.extents.size();
+  if (request.op == IoOp::kFlush) {
+    if (n != 0) {
+      res.status = Status::InvalidArgument("flush requests carry no extents");
+      return res.status;
+    }
+    ++counters_.flushes;
+    FlushAll();
+    return res.status;
+  }
+  if (n == 0) {
+    res.status = Status::InvalidArgument("request has no extents");
+    return res.status;
+  }
+  res.extent_status.assign(n, Status::Ok());
+  if (n > 1) {
+    ++counters_.batches;
+    counters_.batched_pages += n;
+  }
+
+  switch (request.op) {
+    case IoOp::kWrite:
+      if (n == 1) {
+        res.extent_status[0] = WriteExtent(request.extents[0].lpn,
+                                           request.extents[0].payload,
+                                           /*tombstone=*/false,
+                                           /*batched=*/false);
+      } else {
+        WriteBatch(request, &res, /*trim=*/false);
+      }
+      break;
+    case IoOp::kTrim:
+      // Trims of any size run the batched path: even a single trim
+      // benefits from the deferred-identification + grouped-sync shape,
+      // and the tombstone it writes makes the discard crash-durable.
+      WriteBatch(request, &res, /*trim=*/true);
+      break;
+    case IoOp::kRead:
+      res.payloads.assign(n, 0);
+      if (n == 1) {
+        res.extent_status[0] = ReadOne(request.extents[0].lpn,
+                                       &res.payloads[0]);
+      } else {
+        ReadBatch(request, &res);
+      }
+      break;
+    case IoOp::kFlush:
+      break;  // handled above
+  }
+  return res.status;
+}
+
+Status BaseFtl::WriteExtent(Lpn lpn, uint64_t payload, bool tombstone,
+                            bool batched) {
   if (lpn >= device_->geometry().NumLogicalPages()) {
     return Status::InvalidArgument("lpn beyond logical capacity");
   }
-  ++counters_.writes;
-  device_->stats().OnLogicalWrite();
+  if (tombstone) {
+    ++counters_.trims;
+    device_->stats().OnLogicalTrim();
+    // Cheap no-op: an lpn with no cached entry whose translation page was
+    // never written cannot have on-flash data (dirty evictions sync, so
+    // any flash-resident copy implies a flash-resident translation page).
+    if (cache_.Peek(lpn) == nullptr &&
+        !translation_.Exists(translation_.TPageOf(lpn))) {
+      return Status::Ok();
+    }
+  } else {
+    ++counters_.writes;
+    device_->stats().OnLogicalWrite();
+  }
   EnsureFreeSpace();
 
-  // Program the new version on a free user page.
+  // Program the new version on a free user page. A trim programs a
+  // tombstone: a user page flagged dead-on-read, so the whole write-path
+  // invariant set (UIP identification, GC checks, backward-scan recovery)
+  // covers discards with no special cases.
   PhysicalAddress ppa = blocks_.AllocatePage(PageType::kUser);
   SpareArea spare;
   spare.type = PageType::kUser;
   spare.key = lpn;
+  spare.tombstone = tombstone;
   device_->WritePage(ppa, spare, payload, IoPurpose::kUserWrite);
 
   MappingEntry* entry = cache_.Find(lpn);
@@ -48,10 +124,15 @@ Status BaseFtl::Write(Lpn lpn, uint64_t payload) {
   } else {
     ++counters_.cache_misses;
     bool uip = true;
-    if (config_.invalidation == InvalidationMode::kImmediate) {
+    if (!batched && config_.invalidation == InvalidationMode::kImmediate) {
       // Baselines fetch the mapping from flash to identify the
       // before-image right away (one translation-page read on the write
-      // path — the cost GeckoFTL's lazy scheme avoids).
+      // path — the cost GeckoFTL's lazy scheme avoids). Batched requests
+      // skip this per-lpn read even for baselines: identification rides
+      // the UIP flag to the next synchronization of the translation page
+      // — within this Submit for cache-overflowing batches (WriteBatch's
+      // eager commit), at a later eviction/checkpoint sync otherwise —
+      // where one read covers every before-image of the page.
       PhysicalAddress old =
           translation_.Lookup(lpn, IoPurpose::kTranslation);
       if (old.IsValid()) ReportInvalid(old);
@@ -62,22 +143,68 @@ Status BaseFtl::Write(Lpn lpn, uint64_t payload) {
                                     /*uncertain=*/false});
   }
   NoteCacheOp();
-  EnforceDirtyCap();
-  if (wear_ != nullptr) {
-    BlockId victim = wear_->OnWrite();
-    if (victim != kInvalidU32 &&
-        blocks_.BlockType(victim) == PageType::kUser &&
-        !blocks_.IsActive(victim) && !blocks_.IsPinned(victim) &&
-        !in_gc_) {
-      in_gc_ = true;
-      CollectUserBlock(victim);
-      in_gc_ = false;
-    }
-  }
+  if (!batched) EnforceDirtyCap();
+  MaybeWearLevel();
   return Status::Ok();
 }
 
-Status BaseFtl::Read(Lpn lpn, uint64_t* payload) {
+void BaseFtl::WriteBatch(const IoRequest& request, IoResult* result,
+                         bool trim) {
+  // Scatter-gather batching = reordering freedom: the extents stream
+  // through in translation-page order, and each touched translation page
+  // is synchronized once, right after its group of extents lands. The
+  // group's entries are dirtied together and committed together, so the
+  // translation table and page-validity store are updated once per
+  // touched metadata page instead of once per lpn — even when the
+  // mapping cache is far smaller than the batch (the RAM-starved regime
+  // the paper targets), where single-page calls thrash the cache and pay
+  // one eviction-driven sync per write. Extents of one lpn keep their
+  // submission order (same group), so duplicates resolve last-writer-wins.
+  GECKO_CHECK(!defer_invalid_reports_) << "re-entrant batched request";
+  defer_invalid_reports_ = true;
+
+  std::map<TPageId, std::vector<size_t>> groups;
+  for (size_t i = 0; i < request.extents.size(); ++i) {
+    Lpn lpn = request.extents[i].lpn;
+    if (lpn >= device_->geometry().NumLogicalPages()) {
+      result->extent_status[i] =
+          Status::InvalidArgument("lpn beyond logical capacity");
+      continue;
+    }
+    groups[translation_.TPageOf(lpn)].push_back(i);
+  }
+
+  // Commit each group eagerly only when the request far overflows the
+  // mapping cache. A batch the cache can absorb loses nothing by staying
+  // lazy — eviction- and checkpoint-driven synchronization groups dirty
+  // entries over a window of roughly C ops, at least as wide as the
+  // request. A much larger batch would instead see its entries evicted
+  // one by one, each paying a nearly-private synchronization; streaming
+  // the groups and committing each touched translation page once per
+  // request caps the cost at the number of touched pages. The 2C margin
+  // keeps the boundary regime (where both schemes group about equally
+  // well) on the lazy path.
+  const bool commit_now = request.extents.size() >= 2 * cache_.capacity();
+
+  for (const auto& [tpage, extent_indices] : groups) {
+    for (size_t i : extent_indices) {
+      const IoExtent& e = request.extents[i];
+      result->extent_status[i] = WriteExtent(e.lpn, trim ? 0 : e.payload,
+                                             trim, /*batched=*/true);
+    }
+    // One synchronization commits the whole group's mappings and
+    // identifies their before-images off a single translation-page read
+    // (the lazy phase left them flagged UIP, even for immediate-mode
+    // baselines — their per-lpn lookup is what the batch amortizes away).
+    if (commit_now) SyncTranslationPage(tpage);
+  }
+
+  defer_invalid_reports_ = false;
+  FlushPendingInvalid();
+  EnforceDirtyCap();
+}
+
+Status BaseFtl::ReadOne(Lpn lpn, uint64_t* payload) {
   if (lpn >= device_->geometry().NumLogicalPages()) {
     return Status::InvalidArgument("lpn beyond logical capacity");
   }
@@ -105,8 +232,105 @@ Status BaseFtl::Read(Lpn lpn, uint64_t* payload) {
   PageReadResult r = device_->ReadPage(ppa, IoPurpose::kUserRead);
   GECKO_CHECK(r.written) << "mapping points to unwritten page";
   GECKO_CHECK_EQ(r.spare.key, lpn) << "mapping points to wrong logical page";
+  if (r.spare.tombstone) {
+    return Status::NotFound("logical page trimmed");
+  }
   *payload = r.payload;
   return Status::Ok();
+}
+
+void BaseFtl::ReadBatch(const IoRequest& request, IoResult* result) {
+  // Cache misses are grouped by translation page so N missed lpns of the
+  // same page cost one translation read instead of N lookups.
+  struct Miss {
+    Lpn lpn;
+    size_t extent;
+  };
+  std::map<TPageId, std::vector<Miss>> misses;
+  std::vector<PhysicalAddress> resolved(request.extents.size(), kNullAddress);
+  for (size_t i = 0; i < request.extents.size(); ++i) {
+    Lpn lpn = request.extents[i].lpn;
+    if (lpn >= device_->geometry().NumLogicalPages()) {
+      result->extent_status[i] =
+          Status::InvalidArgument("lpn beyond logical capacity");
+      continue;
+    }
+    ++counters_.reads;
+    device_->stats().OnLogicalRead();
+    MappingEntry* entry = cache_.Find(lpn);
+    if (entry != nullptr) {
+      ++counters_.cache_hits;
+      resolved[i] = entry->ppa;
+    } else {
+      ++counters_.cache_misses;
+      misses[translation_.TPageOf(lpn)].push_back(Miss{lpn, i});
+    }
+  }
+
+  for (auto& [tpage, group] : misses) {
+    std::vector<PhysicalAddress> mappings =
+        translation_.ReadTPage(tpage, IoPurpose::kTranslation);
+    for (const Miss& m : group) {
+      PhysicalAddress ppa =
+          mappings.empty()
+              ? kNullAddress
+              : mappings[m.lpn % translation_.entries_per_page()];
+      if (!ppa.IsValid()) {
+        result->extent_status[m.extent] =
+            Status::NotFound("logical page never written");
+        continue;
+      }
+      resolved[m.extent] = ppa;
+      // An entry inserted for an earlier miss of the same lpn (duplicate
+      // extents) must not be double-inserted.
+      if (cache_.Peek(m.lpn) == nullptr) {
+        while (cache_.NeedsEviction()) EvictOne();
+        cache_.Insert(m.lpn, MappingEntry{ppa, false, false, false});
+        NoteCacheOp();
+      }
+    }
+  }
+
+  for (size_t i = 0; i < request.extents.size(); ++i) {
+    if (!result->extent_status[i].ok() || !resolved[i].IsValid()) continue;
+    PageReadResult r = device_->ReadPage(resolved[i], IoPurpose::kUserRead);
+    GECKO_CHECK(r.written) << "mapping points to unwritten page";
+    GECKO_CHECK_EQ(r.spare.key, request.extents[i].lpn)
+        << "mapping points to wrong logical page";
+    if (r.spare.tombstone) {
+      result->extent_status[i] = Status::NotFound("logical page trimmed");
+    } else {
+      result->payloads[i] = r.payload;
+    }
+  }
+}
+
+void BaseFtl::FlushAll() {
+  // Synchronize every dirty cached entry, grouped per translation page
+  // (the checkpoint machinery's grouping, applied to the full cache),
+  // then let the subclass flush its own volatile state (the Logarithmic
+  // Gecko buffer for GeckoFTL).
+  FlushPendingInvalid();
+  std::vector<TPageId> tpages;
+  for (Lpn lpn : cache_.LruToMruOrder()) {
+    const MappingEntry* e = cache_.Peek(lpn);
+    if (e != nullptr && e->dirty) tpages.push_back(translation_.TPageOf(lpn));
+  }
+  std::sort(tpages.begin(), tpages.end());
+  tpages.erase(std::unique(tpages.begin(), tpages.end()), tpages.end());
+  for (TPageId t : tpages) SyncTranslationPage(t);
+  FlushMetadata();
+}
+
+void BaseFtl::MaybeWearLevel() {
+  if (wear_ == nullptr) return;
+  BlockId victim = wear_->OnWrite();
+  if (victim != kInvalidU32 && blocks_.BlockType(victim) == PageType::kUser &&
+      !blocks_.IsActive(victim) && !blocks_.IsPinned(victim) && !in_gc_) {
+    in_gc_ = true;
+    CollectUserBlock(victim);
+    in_gc_ = false;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -141,7 +365,16 @@ void BaseFtl::DebugCheckNotAuthoritative(PhysicalAddress addr,
 #endif
 
 void BaseFtl::ReportInvalid(PhysicalAddress addr) {
-  pvm()->RecordInvalidPage(addr);
+  if (defer_invalid_reports_) {
+    // Batched request in flight: collect the store record so the whole
+    // request submits one RecordInvalidPages batch. The BVC and the
+    // GC-victim mirror below stay exact at all times, so GC decisions are
+    // unaffected by the deferral; GC paths flush the batch before any
+    // store query or erase record.
+    pending_invalid_.push_back(addr);
+  } else {
+    pvm()->RecordInvalidPage(addr);
+  }
   // BVC tracks identified-invalid pages; clamp against double reports
   // (possible after recovery, Appendix C.3.2 — harmless for the bitmap,
   // so merely bounded here).
@@ -151,6 +384,13 @@ void BaseFtl::ReportInvalid(PhysicalAddress addr) {
   if (addr.block == gc_victim_) {
     gc_victim_fresh_invalid_.Set(addr.page);
   }
+}
+
+void BaseFtl::FlushPendingInvalid() {
+  if (pending_invalid_.empty()) return;
+  std::vector<PhysicalAddress> batch;
+  batch.swap(pending_invalid_);
+  pvm()->RecordInvalidPages(batch);
 }
 
 // ---------------------------------------------------------------------------
@@ -348,6 +588,10 @@ void BaseFtl::CollectOneBlock() {
 
 void BaseFtl::CollectUserBlock(BlockId victim) {
   const Geometry& g = device_->geometry();
+  // Reports deferred by an in-flight batched request must reach the store
+  // before its bitmap is queried. (Here, not in CollectOneBlock: the
+  // wear-leveling hook enters this function directly.)
+  FlushPendingInvalid();
   // One GC query to the page-validity store (Section 4, Figure 7).
   Bitmap invalid = pvm()->QueryInvalidPages(victim);
   gc_victim_ = victim;
@@ -418,6 +662,9 @@ void BaseFtl::CollectUserBlock(BlockId victim) {
     SpareArea new_spare;
     new_spare.type = PageType::kUser;
     new_spare.key = lpn;
+    // A live tombstone stays a tombstone (the trimmed lpn must keep
+    // reading back NotFound after its marker is migrated).
+    new_spare.tombstone = page.spare.tombstone;
     device_->WritePage(dest, new_spare, page.payload, IoPurpose::kGcMigration);
     ++counters_.gc_migrations;
     UpsertCacheEntry(lpn, dest, /*uip=*/false);
@@ -451,7 +698,11 @@ void BaseFtl::CollectUserBlock(BlockId victim) {
   }
 #endif
   // Record the erase in the validity store (one cheap buffered insert for
-  // Logarithmic Gecko; Section 3's erase flag) and erase the block.
+  // Logarithmic Gecko; Section 3's erase flag) and erase the block. Any
+  // reports deferred during this collection (fresh invalidations from
+  // migration-driven evictions can target the victim itself) must land
+  // before the erase record obsoletes them.
+  FlushPendingInvalid();
   pvm()->RecordErase(victim);
   bvc_[victim] = 0;
   EraseBlockForGc(victim, IoPurpose::kGcMigration);
@@ -684,6 +935,10 @@ void BaseFtl::SyncAllDirty(RecoveryReport* report) {
 }
 
 RecoveryReport BaseFtl::CrashAndRecover() {
+  // Requests are serviced synchronously, so a crash can only land between
+  // Submits — when no batched reports are pending.
+  GECKO_CHECK(pending_invalid_.empty() && !defer_invalid_reports_)
+      << "power failure inside a batched request";
   OnPowerFailing();
 
   // Power failure: all RAM-resident structures vanish.

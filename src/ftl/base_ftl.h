@@ -36,8 +36,12 @@ class BaseFtl : public Ftl {
   BaseFtl(FlashDevice* device, const FtlConfig& config);
   ~BaseFtl() override = default;
 
-  Status Write(Lpn lpn, uint64_t payload) override;
-  Status Read(Lpn lpn, uint64_t* payload) override;
+  /// Request-oriented entry point. Single-extent writes/reads take the
+  /// classic per-page path; multi-extent requests run the batched path,
+  /// which updates each touched translation page and page-validity-store
+  /// page once per request instead of once per lpn.
+  Status Submit(IoRequest& request, IoResult* result) override;
+
   RecoveryReport CrashAndRecover() override;
   uint64_t RamBytes() const override;
   const FtlCounters& counters() const override { return counters_; }
@@ -104,10 +108,47 @@ class BaseFtl : public Ftl {
   virtual void OnTranslationPageReplaced(TPageId tpage,
                                          PhysicalAddress old_addr);
 
+  /// Flushes store-specific volatile state (kFlush); GeckoFTL flushes the
+  /// Logarithmic Gecko buffer and releases translation-diff pins.
+  virtual void FlushMetadata() {}
+
   // --- Shared internals (used by subclasses) ----------------------------
 
-  /// Reports a user-page invalidation to the store and the BVC.
+  /// Reports a user-page invalidation. The BVC and the GC-victim mirror
+  /// update immediately; the store record is forwarded at once in normal
+  /// operation, or collected and submitted as one RecordInvalidPages batch
+  /// while a scatter-gather request is being serviced (so flash-resident
+  /// stores pay one read-modify-write per touched metadata page per
+  /// request). GC paths flush the collected batch before querying or
+  /// recording erases, keeping the store's view consistent.
   void ReportInvalid(PhysicalAddress addr);
+  void FlushPendingInvalid();
+
+  // --- Request servicing ------------------------------------------------
+
+  /// The classic single-page write path (also services one-extent write
+  /// requests). `tombstone` turns the write into a trim tombstone;
+  /// `batched` defers before-image identification to the request's
+  /// grouped synchronization phase and skips per-page dirty-cap checks
+  /// (both run once per request instead).
+  Status WriteExtent(Lpn lpn, uint64_t payload, bool tombstone, bool batched);
+  Status ReadOne(Lpn lpn, uint64_t* payload);
+
+  /// Batched write/trim: per-extent data-page writes, then one
+  /// synchronization per touched translation page, then one page-validity
+  /// batch submission.
+  void WriteBatch(const IoRequest& request, IoResult* result, bool trim);
+
+  /// Batched read: cache hits resolve directly; misses share one
+  /// translation-page read per touched translation page.
+  void ReadBatch(const IoRequest& request, IoResult* result);
+
+  /// kFlush: synchronizes every dirty cached entry (grouped per
+  /// translation page) and flushes store-specific volatile state.
+  void FlushAll();
+
+  /// Runs the wear-leveling check a user-data write triggers.
+  void MaybeWearLevel();
 
 #ifdef GECKO_DEBUG_GC_GROUND_TRUTH
   /// Debug-only: aborts if `addr` is the authoritative location of the
@@ -189,6 +230,11 @@ class BaseFtl : public Ftl {
   FtlCounters counters_;
   uint64_t cache_ops_since_checkpoint_ = 0;
   bool in_gc_ = false;  // guards re-entrant GC
+  /// While true (inside batched request servicing), ReportInvalid collects
+  /// store records into pending_invalid_ instead of forwarding them one by
+  /// one; FlushPendingInvalid submits the batch.
+  bool defer_invalid_reports_ = false;
+  std::vector<PhysicalAddress> pending_invalid_;
   /// Saved translation-page versions from the last RecoverGmd call, used
   /// by GeckoFTL's buffer recovery diffing.
   std::vector<TranslationTable::TPageVersions> recovered_versions_;

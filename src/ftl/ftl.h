@@ -1,12 +1,21 @@
 // Abstract interface of a flash translation layer, plus per-FTL counters.
+//
+// The interface is request-oriented: hosts build IoRequest batches (write /
+// read / trim / flush over a vector of extents) and Submit() services them,
+// letting the FTL amortize translation-table and page-validity-store
+// updates across the batch. The single-page Write/Read/Trim/Flush calls
+// are thin compatibility wrappers over one-extent requests so existing
+// callers migrate incrementally.
 
 #ifndef GECKOFTL_FTL_FTL_H_
 #define GECKOFTL_FTL_FTL_H_
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "flash/types.h"
+#include "ftl/io_request.h"
 #include "ftl/recovery_report.h"
 #include "util/status.h"
 
@@ -17,6 +26,10 @@ namespace gecko {
 struct FtlCounters {
   uint64_t writes = 0;
   uint64_t reads = 0;
+  uint64_t trims = 0;             // trim extents serviced
+  uint64_t flushes = 0;           // kFlush requests serviced
+  uint64_t batches = 0;           // multi-extent requests submitted
+  uint64_t batched_pages = 0;     // extents carried by those requests
   uint64_t sync_ops = 0;
   uint64_t aborted_sync_ops = 0;  // all-clean syncs skipped (Appendix C.3.1)
   uint64_t checkpoints = 0;
@@ -32,11 +45,48 @@ class Ftl {
  public:
   virtual ~Ftl() = default;
 
+  /// Services one batched scatter-gather request. Returns OK when the
+  /// request was executed (even if individual extents failed — those
+  /// outcomes are in result->extent_status); a non-OK return means the
+  /// request was malformed and nothing happened. `result` may be null for
+  /// fire-and-forget writes/trims.
+  virtual Status Submit(IoRequest& request, IoResult* result) = 0;
+
+  // --- Single-page compatibility layer, re-expressed over Submit() -----
+
   /// Writes `payload` to logical page `lpn` (out of place).
-  virtual Status Write(Lpn lpn, uint64_t payload) = 0;
+  Status Write(Lpn lpn, uint64_t payload) {
+    IoRequest request = IoRequest::Write({IoExtent{lpn, payload}});
+    IoResult result;
+    Status s = Submit(request, &result);
+    return s.ok() ? result.FirstError() : s;
+  }
 
   /// Reads logical page `lpn` into `*payload`.
-  virtual Status Read(Lpn lpn, uint64_t* payload) = 0;
+  Status Read(Lpn lpn, uint64_t* payload) {
+    IoRequest request = IoRequest::Read({lpn});
+    IoResult result;
+    Status s = Submit(request, &result);
+    if (!s.ok()) return s;
+    if (result.AllOk() && !result.payloads.empty()) {
+      *payload = result.payloads[0];
+    }
+    return result.FirstError();
+  }
+
+  /// Discards logical page `lpn`: later reads return NotFound.
+  Status Trim(Lpn lpn) {
+    IoRequest request = IoRequest::Trim({lpn});
+    IoResult result;
+    Status s = Submit(request, &result);
+    return s.ok() ? result.FirstError() : s;
+  }
+
+  /// Makes all volatile FTL state durable.
+  Status Flush() {
+    IoRequest request = IoRequest::Flush();
+    return Submit(request, nullptr);
+  }
 
   /// Simulates a power failure (all RAM-resident state is lost) followed
   /// by the FTL's recovery algorithm. Returns the per-step cost report.

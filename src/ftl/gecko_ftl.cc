@@ -37,6 +37,11 @@ void GeckoFtl::OnTranslationPageReplaced(TPageId, PhysicalAddress old_addr) {
   blocks_.Pin(old_addr.block, now);
 }
 
+void GeckoFtl::FlushMetadata() {
+  store_->gecko().Flush();
+  blocks_.UnpinThrough(store_->gecko().DurableSeq());
+}
+
 void GeckoFtl::RecoverPvm(RecoveryReport* report) {
   // Step 3: run directories (Appendix C.1).
   store_->gecko().ResetRamState();

@@ -39,6 +39,9 @@ class GeckoFtl : public BaseFtl {
   void OnRecoveryComplete(RecoveryReport* report) override;
   void OnTranslationPageReplaced(TPageId tpage,
                                  PhysicalAddress old_addr) override;
+  /// kFlush: the Gecko buffer is the FTL's remaining volatile state; a
+  /// flush advances the durable horizon and releases translation-diff pins.
+  void FlushMetadata() override;
   /// Supports greedy-GC ablations: relocates a live Gecko run page.
   void MigratePvmPage(PhysicalAddress addr) override;
 

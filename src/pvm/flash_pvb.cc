@@ -1,5 +1,6 @@
 #include "pvm/flash_pvb.h"
 
+#include <map>
 #include <unordered_map>
 
 namespace gecko {
@@ -44,6 +45,21 @@ void FlashPvb::RecordInvalidPage(PhysicalAddress addr) {
   uint32_t c = ChunkOf(addr.block);
   uint32_t bit = BitOffset(addr);
   ReadModifyWrite(c, [&](Bitmap* bits) { bits->Set(bit); });
+}
+
+void FlashPvb::RecordInvalidPages(const std::vector<PhysicalAddress>& addrs) {
+  // Group the batch by chunk; each touched chunk pays one read-modify-
+  // write regardless of how many of its bits the batch sets.
+  std::map<uint32_t, std::vector<uint32_t>> by_chunk;
+  for (PhysicalAddress addr : addrs) {
+    GECKO_CHECK_LT(addr.block, geometry_.num_blocks);
+    by_chunk[ChunkOf(addr.block)].push_back(BitOffset(addr));
+  }
+  for (const auto& [c, bits] : by_chunk) {
+    ReadModifyWrite(c, [&](Bitmap* chunk) {
+      for (uint32_t bit : bits) chunk->Set(bit);
+    });
+  }
 }
 
 void FlashPvb::RecordErase(BlockId block) {

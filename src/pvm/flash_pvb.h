@@ -24,6 +24,10 @@ class FlashPvb : public PageValidityStore {
            PageAllocator* allocator);
 
   void RecordInvalidPage(PhysicalAddress addr) override;
+  /// Batched update: one chunk-page read-modify-write per *touched chunk*
+  /// instead of one per address — the flash-PVB half of the batching
+  /// contract of the request-oriented Ftl API.
+  void RecordInvalidPages(const std::vector<PhysicalAddress>& addrs) override;
   void RecordErase(BlockId block) override;
   Bitmap QueryInvalidPages(BlockId block) override;
 

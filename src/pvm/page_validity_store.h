@@ -10,6 +10,7 @@
 #define GECKOFTL_PVM_PAGE_VALIDITY_STORE_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "flash/types.h"
 #include "util/bitmap.h"
@@ -23,6 +24,15 @@ class PageValidityStore {
 
   /// Records that the page at `addr` became invalid (an "update").
   virtual void RecordInvalidPage(PhysicalAddress addr) = 0;
+
+  /// Records a batch of invalidations collected by one scatter-gather
+  /// request. The default forwards one by one; stores with flash-resident
+  /// structures override it to update each touched metadata page once per
+  /// batch instead of once per address (the batching contract of the
+  /// request-oriented Ftl API).
+  virtual void RecordInvalidPages(const std::vector<PhysicalAddress>& addrs) {
+    for (PhysicalAddress addr : addrs) RecordInvalidPage(addr);
+  }
 
   /// Records that `block` was erased; all earlier records for it become
   /// obsolete.

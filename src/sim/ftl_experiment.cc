@@ -4,10 +4,25 @@
 
 namespace gecko {
 
-void FtlExperiment::Fill(Ftl& ftl, uint64_t num_lpns) {
-  for (uint64_t lpn = 0; lpn < num_lpns; ++lpn) {
-    Status s = ftl.Write(static_cast<Lpn>(lpn), Token(static_cast<Lpn>(lpn), 0));
-    GECKO_CHECK(s.ok()) << s.ToString();
+void FtlExperiment::Fill(Ftl& ftl, uint64_t num_lpns, uint32_t batch_size) {
+  GECKO_CHECK_GT(batch_size, 0u);
+  if (batch_size == 1) {
+    for (uint64_t lpn = 0; lpn < num_lpns; ++lpn) {
+      Status s =
+          ftl.Write(static_cast<Lpn>(lpn), Token(static_cast<Lpn>(lpn), 0));
+      GECKO_CHECK(s.ok()) << s.ToString();
+    }
+    return;
+  }
+  for (uint64_t base = 0; base < num_lpns; base += batch_size) {
+    IoRequest request(IoOp::kWrite);
+    uint64_t end = base + batch_size < num_lpns ? base + batch_size : num_lpns;
+    for (uint64_t lpn = base; lpn < end; ++lpn) {
+      request.Add(static_cast<Lpn>(lpn), Token(static_cast<Lpn>(lpn), 0));
+    }
+    IoResult result;
+    Status s = ftl.Submit(request, &result);
+    GECKO_CHECK(s.ok() && result.AllOk()) << result.FirstError().ToString();
   }
 }
 
@@ -23,6 +38,38 @@ WaBreakdown FtlExperiment::MeasureWa(Ftl& ftl, FlashDevice& device,
     Status s = ftl.Write(workload.NextLpn(), Token(1, i));
     GECKO_CHECK(s.ok()) << s.ToString();
   }
+  IoCounters delta = device.stats().Snapshot() - before;
+  double d = device.stats().latency().Delta();
+
+  WaBreakdown wa;
+  wa.user_and_gc = delta.WriteAmplificationFor(IoPurpose::kGcMigration, d) +
+                   delta.WriteAmplificationFor(IoPurpose::kUserWrite, d);
+  wa.translation = delta.WriteAmplificationFor(IoPurpose::kTranslation, d);
+  wa.page_validity = delta.WriteAmplificationFor(IoPurpose::kPvm, d);
+  wa.total = delta.WriteAmplification(d);
+  return wa;
+}
+
+WaBreakdown FtlExperiment::MeasureWaBatched(
+    Ftl& ftl, FlashDevice& device, Workload& workload, uint64_t warm_ops,
+    uint64_t measure_ops, const RequestStream::Options& options) {
+  RequestStream stream(&workload, options);
+  auto run_until = [&](uint64_t target_ops) {
+    while (stream.ops_emitted() < target_ops) {
+      IoRequest request = stream.Next();
+      IoResult result;
+      Status s = ftl.Submit(request, &result);
+      GECKO_CHECK(s.ok()) << s.ToString();
+      for (const Status& es : result.extent_status) {
+        // Trims of never-written pages are fine; everything else must land.
+        GECKO_CHECK(es.ok() || es.code() == StatusCode::kNotFound)
+            << es.ToString();
+      }
+    }
+  };
+  run_until(warm_ops);
+  IoCounters before = device.stats().Snapshot();
+  run_until(warm_ops + measure_ops);
   IoCounters delta = device.stats().Snapshot() - before;
   double d = device.stats().latency().Delta();
 

@@ -10,6 +10,7 @@
 
 #include "flash/flash_device.h"
 #include "ftl/ftl.h"
+#include "workload/request_stream.h"
 #include "workload/workload.h"
 
 namespace gecko {
@@ -25,14 +26,25 @@ struct WaBreakdown {
 class FtlExperiment {
  public:
   /// Writes every logical page once (device fill). Payload is a
-  /// deterministic token derived from the lpn.
-  static void Fill(Ftl& ftl, uint64_t num_lpns);
+  /// deterministic token derived from the lpn. `batch_size` > 1 submits
+  /// the fill as scatter-gather requests of that many sequential pages.
+  static void Fill(Ftl& ftl, uint64_t num_lpns, uint32_t batch_size = 1);
 
   /// Runs `warm_ops` updates to reach steady state, then measures the WA
   /// breakdown over `measure_ops` further updates.
   static WaBreakdown MeasureWa(Ftl& ftl, FlashDevice& device,
                                Workload& workload, uint64_t warm_ops,
                                uint64_t measure_ops);
+
+  /// Batched measurement loop: updates are submitted through a
+  /// RequestStream (batch size + trim mix), so the whole request pipeline
+  /// — including kTrim — is exercised and measured. Roughly `warm_ops`
+  /// update extents warm the device; the breakdown is measured over the
+  /// following ~`measure_ops` extents.
+  static WaBreakdown MeasureWaBatched(Ftl& ftl, FlashDevice& device,
+                                      Workload& workload, uint64_t warm_ops,
+                                      uint64_t measure_ops,
+                                      const RequestStream::Options& options);
 
   /// Deterministic content token for (lpn, version) — used by tests to
   /// verify end-to-end data integrity.

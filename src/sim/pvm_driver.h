@@ -38,14 +38,27 @@ class PvmDriver {
   /// First write of every logical page (device fill).
   void Fill();
 
+  /// Batched fill: invalidation records accumulate per `batch_size` pages
+  /// and reach the store as one RecordInvalidPages call (a fill produces
+  /// none, but re-fills after wraparound do).
+  void FillBatched(uint32_t batch_size);
+
   /// Applies `count` updates drawn from `workload`, running GC as needed.
   void RunUpdates(uint64_t count, Workload& workload);
+
+  /// Batched measurement loop: like RunUpdates, but before-image records
+  /// are collected per `batch_size` updates and submitted as one
+  /// RecordInvalidPages batch — the driver-level analogue of a
+  /// scatter-gather write request.
+  void RunUpdateBatches(uint64_t count, uint32_t batch_size,
+                        Workload& workload);
 
   uint64_t gc_operations() const { return gc_operations_; }
   uint64_t updates_issued() const { return updates_issued_; }
 
  private:
-  void WriteLpn(Lpn lpn);
+  void WriteLpn(Lpn lpn, bool batched = false);
+  void FlushPendingRecords();
   void EnsureFreeBlocks();
   void CollectOne();
   PhysicalAddress Allocate();
@@ -59,6 +72,9 @@ class PvmDriver {
   std::vector<uint32_t> invalid_count_;      // exact, per user block
   std::vector<Bitmap> oracle_;               // exact invalid bitmaps
   std::deque<BlockId> free_blocks_;
+  /// Store records collected by the batched loops, flushed once per batch
+  /// (and before any GC query, so the oracle check stays exact).
+  std::vector<PhysicalAddress> pending_records_;
   PhysicalAddress active_ = kNullAddress;
   uint64_t gc_operations_ = 0;
   uint64_t updates_issued_ = 0;

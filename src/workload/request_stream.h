@@ -1,0 +1,90 @@
+// Turns an lpn-level Workload into a stream of batched IoRequests — the
+// shape real hosts submit (queued multi-page requests with an occasional
+// TRIM mix, as in filesystem discard batching).
+//
+// Each call to Next() emits one request. Write batches carry `batch_size`
+// extents drawn from the wrapped workload, with payloads derived from a
+// deterministic version counter so replays are bit-for-bit reproducible.
+// With a non-zero trim fraction, each drawn lpn becomes a pending discard
+// instead of a write with that probability; pending discards are emitted
+// as one kTrim request before the next write batch, mirroring how hosts
+// coalesce discards between write bursts.
+
+#ifndef GECKOFTL_WORKLOAD_REQUEST_STREAM_H_
+#define GECKOFTL_WORKLOAD_REQUEST_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ftl/io_request.h"
+#include "util/check.h"
+#include "util/random.h"
+#include "workload/workload.h"
+
+namespace gecko {
+
+class RequestStream {
+ public:
+  struct Options {
+    uint32_t batch_size = 8;
+    /// Probability that a drawn lpn is discarded instead of rewritten.
+    double trim_fraction = 0.0;
+    uint64_t seed = 42;
+  };
+
+  RequestStream(Workload* workload, const Options& options)
+      : workload_(workload), options_(options), rng_(options.seed) {
+    GECKO_CHECK_GT(options.batch_size, 0u);
+    GECKO_CHECK_GE(options.trim_fraction, 0.0);
+    GECKO_CHECK_LE(options.trim_fraction, 1.0);
+  }
+
+  /// Deterministic payload for the i-th write the stream ever emits.
+  static uint64_t PayloadToken(Lpn lpn, uint64_t version) {
+    uint64_t x = (uint64_t{lpn} << 32) ^ (version * 0x9E3779B97F4A7C15ull);
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDull;
+    x ^= x >> 33;
+    return x;
+  }
+
+  /// Emits the next request: a pending kTrim batch if discards have
+  /// accumulated, otherwise a kWrite batch of `batch_size` extents.
+  IoRequest Next() {
+    if (!pending_trims_.empty()) {
+      IoRequest trim = IoRequest::Trim(pending_trims_);
+      ops_emitted_ += pending_trims_.size();
+      pending_trims_.clear();
+      return trim;
+    }
+    IoRequest write(IoOp::kWrite);
+    while (write.extents.size() < options_.batch_size) {
+      Lpn lpn = workload_->NextLpn();
+      if (options_.trim_fraction > 0.0 &&
+          rng_.Bernoulli(options_.trim_fraction)) {
+        pending_trims_.push_back(lpn);
+        if (pending_trims_.size() >= options_.batch_size) break;
+        continue;
+      }
+      write.Add(lpn, PayloadToken(lpn, ++version_));
+    }
+    if (write.extents.empty()) return Next();  // all draws became trims
+    ops_emitted_ += write.extents.size();
+    return write;
+  }
+
+  uint64_t ops_emitted() const { return ops_emitted_; }
+  const Options& options() const { return options_; }
+
+ private:
+  Workload* workload_;
+  Options options_;
+  Rng rng_;
+  std::vector<Lpn> pending_trims_;
+  uint64_t version_ = 0;
+  uint64_t ops_emitted_ = 0;
+};
+
+}  // namespace gecko
+
+#endif  // GECKOFTL_WORKLOAD_REQUEST_STREAM_H_

@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -64,6 +65,47 @@ class ShadowHarness {
     Status s = ftl_->Write(lpn, token);
     ASSERT_TRUE(s.ok()) << s.ToString();
     shadow_[lpn] = token;
+  }
+
+  /// Submits one multi-extent write request, mirroring every extent.
+  void WriteBatch(const std::vector<Lpn>& lpns) {
+    IoRequest request(IoOp::kWrite);
+    std::unordered_map<Lpn, uint64_t> tokens;
+    for (Lpn lpn : lpns) {
+      uint64_t token = FtlExperiment::Token(lpn, ++version_);
+      request.Add(lpn, token);
+      tokens[lpn] = token;  // duplicates: last writer wins, as in the FTL
+    }
+    IoResult result;
+    Status s = ftl_->Submit(request, &result);
+    ASSERT_TRUE(s.ok() && result.AllOk()) << result.FirstError().ToString();
+    for (const auto& [lpn, token] : tokens) shadow_[lpn] = token;
+  }
+
+  void Trim(Lpn lpn) {
+    Status s = ftl_->Trim(lpn);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    shadow_.erase(lpn);
+  }
+
+  void TrimBatch(const std::vector<Lpn>& lpns) {
+    IoRequest request = IoRequest::Trim(lpns);
+    IoResult result;
+    Status s = ftl_->Submit(request, &result);
+    ASSERT_TRUE(s.ok() && result.AllOk()) << result.FirstError().ToString();
+    for (Lpn lpn : lpns) shadow_.erase(lpn);
+  }
+
+  /// Reads every trimmed-or-never-written lpn in [0, bound) and checks
+  /// NotFound.
+  void VerifyAbsent(Lpn bound) {
+    for (Lpn lpn = 0; lpn < bound; ++lpn) {
+      if (shadow_.count(lpn) != 0) continue;
+      uint64_t got = 0;
+      Status s = ftl_->Read(lpn, &got);
+      ASSERT_EQ(s.code(), StatusCode::kNotFound)
+          << ftl_->Name() << ": lpn " << lpn << " should be absent";
+    }
   }
 
   void VerifyAll() {

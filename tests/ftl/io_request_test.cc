@@ -1,0 +1,176 @@
+// The request-oriented Ftl API: batched scatter-gather writes and reads,
+// per-extent statuses, flush, duplicate resolution, and the request
+// counters, across GeckoFTL and all four baselines.
+
+#include <gtest/gtest.h>
+
+#include "tests/ftl/ftl_test_util.h"
+
+namespace gecko {
+namespace {
+
+const char* kAllFtls[] = {"GeckoFTL", "DFTL", "LazyFTL", "uFTL", "IB-FTL"};
+
+class IoRequestTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(IoRequestTest, BatchedWriteReadRoundTrip) {
+  FlashDevice device(FtlTestGeometry());
+  auto ftl = MakeFtl(GetParam(), &device, 64);
+  ASSERT_NE(ftl, nullptr);
+
+  // Scattered, non-contiguous lpns in one request.
+  IoRequest write(IoOp::kWrite);
+  std::vector<Lpn> lpns = {3, 400, 17, 901, 256, 42, 700, 5};
+  for (size_t i = 0; i < lpns.size(); ++i) {
+    write.Add(lpns[i], 0xF00 + i);
+  }
+  IoResult wres;
+  ASSERT_TRUE(ftl->Submit(write, &wres).ok());
+  EXPECT_TRUE(wres.AllOk());
+
+  IoRequest read = IoRequest::Read(lpns);
+  IoResult rres;
+  ASSERT_TRUE(ftl->Submit(read, &rres).ok());
+  ASSERT_TRUE(rres.AllOk());
+  ASSERT_EQ(rres.payloads.size(), lpns.size());
+  for (size_t i = 0; i < lpns.size(); ++i) {
+    EXPECT_EQ(rres.payloads[i], 0xF00u + i) << "extent " << i;
+  }
+  EXPECT_EQ(ftl->counters().batches, 2u);
+  EXPECT_EQ(ftl->counters().batched_pages, 2 * lpns.size());
+  EXPECT_EQ(ftl->counters().writes, lpns.size());
+  EXPECT_EQ(ftl->counters().reads, lpns.size());
+}
+
+TEST_P(IoRequestTest, DuplicateLpnsInBatchLastWriterWins) {
+  FlashDevice device(FtlTestGeometry());
+  auto ftl = MakeFtl(GetParam(), &device, 64);
+
+  IoRequest write(IoOp::kWrite);
+  write.Add(9, 0x1).Add(9, 0x2).Add(10, 0xA).Add(9, 0x3);
+  IoResult result;
+  ASSERT_TRUE(ftl->Submit(write, &result).ok());
+  ASSERT_TRUE(result.AllOk());
+
+  uint64_t payload = 0;
+  ASSERT_TRUE(ftl->Read(9, &payload).ok());
+  EXPECT_EQ(payload, 0x3u);
+  ASSERT_TRUE(ftl->Read(10, &payload).ok());
+  EXPECT_EQ(payload, 0xAu);
+}
+
+TEST_P(IoRequestTest, PerExtentStatuses) {
+  FlashDevice device(FtlTestGeometry());
+  auto ftl = MakeFtl(GetParam(), &device, 64);
+  const Lpn beyond =
+      static_cast<Lpn>(device.geometry().NumLogicalPages() + 10);
+
+  ASSERT_TRUE(ftl->Write(1, 0x11).ok());
+
+  // Mixed read batch: present, never-written, out of range.
+  IoRequest read = IoRequest::Read({1, 50, beyond});
+  IoResult result;
+  ASSERT_TRUE(ftl->Submit(read, &result).ok());
+  ASSERT_EQ(result.extent_status.size(), 3u);
+  EXPECT_TRUE(result.extent_status[0].ok());
+  EXPECT_EQ(result.payloads[0], 0x11u);
+  EXPECT_EQ(result.extent_status[1].code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.extent_status[2].code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(result.AllOk());
+  EXPECT_EQ(result.FirstError().code(), StatusCode::kNotFound);
+
+  // A write batch with one bad extent still lands the good ones.
+  IoRequest write(IoOp::kWrite);
+  write.Add(2, 0x22).Add(beyond, 0x33).Add(4, 0x44);
+  ASSERT_TRUE(ftl->Submit(write, &result).ok());
+  EXPECT_TRUE(result.extent_status[0].ok());
+  EXPECT_EQ(result.extent_status[1].code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(result.extent_status[2].ok());
+  uint64_t payload = 0;
+  ASSERT_TRUE(ftl->Read(4, &payload).ok());
+  EXPECT_EQ(payload, 0x44u);
+}
+
+TEST_P(IoRequestTest, MalformedRequestsAreRejectedWhole) {
+  FlashDevice device(FtlTestGeometry());
+  auto ftl = MakeFtl(GetParam(), &device, 64);
+
+  IoRequest empty(IoOp::kWrite);
+  IoResult result;
+  EXPECT_EQ(ftl->Submit(empty, &result).code(), StatusCode::kInvalidArgument);
+
+  IoRequest flush = IoRequest::Flush();
+  flush.Add(1, 0);
+  EXPECT_EQ(ftl->Submit(flush, &result).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_P(IoRequestTest, FlushMakesStateDurableAndCountsOnce) {
+  FlashDevice device(FtlTestGeometry());
+  auto ftl = MakeFtl(GetParam(), &device, 64);
+
+  for (Lpn lpn = 0; lpn < 100; ++lpn) {
+    ASSERT_TRUE(ftl->Write(lpn, 0x8000 + lpn).ok());
+  }
+  ASSERT_TRUE(ftl->Flush().ok());
+  EXPECT_EQ(ftl->counters().flushes, 1u);
+
+  // After a flush, an immediately-following flush has nothing to sync:
+  // no translation writes happen.
+  IoCounters before = device.stats().Snapshot();
+  ASSERT_TRUE(ftl->Flush().ok());
+  IoCounters delta = device.stats().Snapshot() - before;
+  EXPECT_EQ(delta.WritesFor(IoPurpose::kTranslation), 0u) << ftl->Name();
+
+  ftl->CrashAndRecover();
+  for (Lpn lpn = 0; lpn < 100; ++lpn) {
+    uint64_t payload = 0;
+    ASSERT_TRUE(ftl->Read(lpn, &payload).ok()) << ftl->Name();
+    EXPECT_EQ(payload, 0x8000u + lpn);
+  }
+}
+
+TEST_P(IoRequestTest, SingleExtentRequestsMatchWrapperBehaviour) {
+  FlashDevice device(FtlTestGeometry());
+  auto ftl = MakeFtl(GetParam(), &device, 64);
+
+  // The wrappers are one-extent requests; they must not count as batches.
+  ASSERT_TRUE(ftl->Write(1, 0xAA).ok());
+  uint64_t payload = 0;
+  ASSERT_TRUE(ftl->Read(1, &payload).ok());
+  EXPECT_EQ(payload, 0xAAu);
+  EXPECT_EQ(ftl->Read(2, &payload).code(), StatusCode::kNotFound);
+  EXPECT_EQ(ftl->Write(static_cast<Lpn>(1u << 30), 0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ftl->counters().batches, 0u);
+  EXPECT_EQ(ftl->counters().batched_pages, 0u);
+}
+
+TEST_P(IoRequestTest, LargeMixedWorkloadStaysConsistent) {
+  FlashDevice device(FtlTestGeometry());
+  auto ftl = MakeFtl(GetParam(), &device, 48);
+  const uint64_t num_lpns = FtlTestGeometry().NumLogicalPages();
+  ShadowHarness shadow(ftl.get(), num_lpns);
+
+  Rng rng(11);
+  for (int round = 0; round < 300; ++round) {
+    std::vector<Lpn> lpns;
+    for (int i = 0; i < 16; ++i) {
+      lpns.push_back(static_cast<Lpn>(rng.Uniform(num_lpns)));
+    }
+    if (round % 5 == 4) {
+      shadow.TrimBatch(lpns);
+    } else {
+      shadow.WriteBatch(lpns);
+    }
+    if (round % 50 == 49) {
+      ASSERT_TRUE(ftl->Flush().ok());
+    }
+  }
+  shadow.VerifyAll();
+  shadow.VerifyAbsent(static_cast<Lpn>(num_lpns));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFtls, IoRequestTest, ::testing::ValuesIn(kAllFtls));
+
+}  // namespace
+}  // namespace gecko

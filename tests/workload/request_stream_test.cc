@@ -1,0 +1,85 @@
+// RequestStream: workloads emitting batched IoRequests with a trim mix.
+
+#include <gtest/gtest.h>
+
+#include "workload/request_stream.h"
+
+namespace gecko {
+namespace {
+
+TEST(RequestStreamTest, EmitsWriteBatchesOfConfiguredSize) {
+  UniformWorkload workload(1000, 1);
+  RequestStream::Options options;
+  options.batch_size = 16;
+  RequestStream stream(&workload, options);
+
+  for (int i = 0; i < 10; ++i) {
+    IoRequest request = stream.Next();
+    EXPECT_EQ(request.op, IoOp::kWrite);
+    EXPECT_EQ(request.extents.size(), 16u);
+    for (const IoExtent& e : request.extents) {
+      EXPECT_LT(e.lpn, 1000u);
+    }
+  }
+  EXPECT_EQ(stream.ops_emitted(), 160u);
+}
+
+TEST(RequestStreamTest, PayloadsAreDeterministicAcrossReplays) {
+  UniformWorkload w1(500, 3), w2(500, 3);
+  RequestStream::Options options;
+  options.batch_size = 8;
+  RequestStream a(&w1, options), b(&w2, options);
+  for (int i = 0; i < 20; ++i) {
+    IoRequest ra = a.Next(), rb = b.Next();
+    ASSERT_EQ(ra.extents.size(), rb.extents.size());
+    for (size_t j = 0; j < ra.extents.size(); ++j) {
+      EXPECT_EQ(ra.extents[j].lpn, rb.extents[j].lpn);
+      EXPECT_EQ(ra.extents[j].payload, rb.extents[j].payload);
+    }
+  }
+}
+
+TEST(RequestStreamTest, TrimMixEmitsTrimRequests) {
+  UniformWorkload workload(1000, 5);
+  RequestStream::Options options;
+  options.batch_size = 8;
+  options.trim_fraction = 0.3;
+  RequestStream stream(&workload, options);
+
+  uint64_t writes = 0, trims = 0;
+  for (int i = 0; i < 400; ++i) {
+    IoRequest request = stream.Next();
+    ASSERT_FALSE(request.extents.empty());
+    if (request.op == IoOp::kTrim) {
+      trims += request.extents.size();
+      EXPECT_LE(request.extents.size(), 8u);
+    } else {
+      ASSERT_EQ(request.op, IoOp::kWrite);
+      writes += request.extents.size();
+    }
+  }
+  EXPECT_GT(trims, 0u);
+  EXPECT_GT(writes, 0u);
+  // The mix tracks the knob (30% +/- a wide tolerance).
+  double fraction =
+      static_cast<double>(trims) / static_cast<double>(trims + writes);
+  EXPECT_GT(fraction, 0.2);
+  EXPECT_LT(fraction, 0.4);
+  EXPECT_EQ(stream.ops_emitted(), trims + writes);
+}
+
+TEST(RequestStreamTest, AllTrimWorkloadStillTerminates) {
+  SequentialWorkload workload(64);
+  RequestStream::Options options;
+  options.batch_size = 4;
+  options.trim_fraction = 1.0;
+  RequestStream stream(&workload, options);
+  for (int i = 0; i < 8; ++i) {
+    IoRequest request = stream.Next();
+    EXPECT_EQ(request.op, IoOp::kTrim);
+    EXPECT_EQ(request.extents.size(), 4u);
+  }
+}
+
+}  // namespace
+}  // namespace gecko
