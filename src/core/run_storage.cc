@@ -35,10 +35,17 @@ const RunImage& RunStorage::WriteRun(uint32_t level,
   image.live_snapshot = std::move(live_after);
   image.live_snapshot.push_back(image.id);
 
+  // Stream = the run's level: a run's pages stay contiguous in one stripe
+  // slot (the run is discarded wholesale, so its blocks free together),
+  // and short-lived L0 runs never share blocks with long-lived deep-level
+  // runs — the mixing that would leave every block one live page away
+  // from erasable under the never-collect-metadata policy.
+  const uint32_t stream = level;
+
   // Preamble: run id + level + live-run snapshot. The payload token is the
   // run id; level rides in the spare's aux low bits would collide with the
   // marker, so recovery reads the preamble *page* for it (one page read).
-  image.preamble = allocator_->AllocatePage(PageType::kPvm);
+  image.preamble = allocator_->AllocatePage(PageType::kPvm, stream);
   SpareArea spare;
   spare.type = PageType::kPvm;
   spare.key = static_cast<uint32_t>(image.id);
@@ -52,7 +59,7 @@ const RunImage& RunStorage::WriteRun(uint32_t level,
   size_t num_pages = (entries.size() + entries_per_page_ - 1) /
                      entries_per_page_;
   for (size_t p = 0; p < num_pages; ++p) {
-    PhysicalAddress addr = allocator_->AllocatePage(PageType::kPvm);
+    PhysicalAddress addr = allocator_->AllocatePage(PageType::kPvm, stream);
     SpareArea data_spare;
     data_spare.type = PageType::kPvm;
     data_spare.key = static_cast<uint32_t>(image.id);
@@ -64,7 +71,7 @@ const RunImage& RunStorage::WriteRun(uint32_t level,
 
   // Postamble: a copy of the run directory (Appendix C.1). Its presence
   // marks the run as completely written.
-  image.postamble = allocator_->AllocatePage(PageType::kPvm);
+  image.postamble = allocator_->AllocatePage(PageType::kPvm, stream);
   SpareArea post_spare;
   post_spare.type = PageType::kPvm;
   post_spare.key = static_cast<uint32_t>(image.id);
@@ -117,7 +124,8 @@ bool RunStorage::RelocatePage(PhysicalAddress addr) {
     spare.key = static_cast<uint32_t>(id);
     auto move_page = [&](PhysicalAddress* slot, uint32_t aux) {
       device_->ReadPage(*slot, IoPurpose::kPvm);
-      PhysicalAddress fresh = allocator_->AllocatePage(PageType::kPvm);
+      PhysicalAddress fresh =
+          allocator_->AllocatePage(PageType::kPvm, image.level);
       spare.aux = aux;
       device_->WritePage(fresh, spare, id, IoPurpose::kPvm);
       allocator_->OnMetadataPageInvalidated(*slot);

@@ -1,0 +1,127 @@
+#include "flash/channel_queue.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace gecko {
+
+const char* FlashOpKindName(FlashOpKind k) {
+  switch (k) {
+    case FlashOpKind::kPageWrite: return "page-write";
+    case FlashOpKind::kPageRead: return "page-read";
+    case FlashOpKind::kSpareRead: return "spare-read";
+    case FlashOpKind::kErase: return "erase";
+  }
+  return "?";
+}
+
+ChannelQueue::ChannelQueue(ChannelId id, LatencyModel latency)
+    : id_(id), latency_(latency) {}
+
+double ChannelQueue::LatencyFor(FlashOpKind kind) const {
+  switch (kind) {
+    case FlashOpKind::kPageWrite: return latency_.page_write_us;
+    case FlashOpKind::kPageRead: return latency_.page_read_us;
+    case FlashOpKind::kSpareRead: return latency_.spare_read_us;
+    case FlashOpKind::kErase: return latency_.erase_us;
+  }
+  return 0;
+}
+
+FlashSubmission ChannelQueue::Stamp(uint64_t id, FlashOpKind kind,
+                                    PhysicalAddress addr, IoPurpose purpose,
+                                    double now_us) {
+  FlashSubmission sub;
+  sub.id = id;
+  sub.channel = id_;
+  sub.kind = kind;
+  sub.addr = addr;
+  sub.purpose = purpose;
+  sub.submit_us = now_us;
+  sub.start_us = std::max(now_us, busy_until_us_);
+  sub.complete_us = sub.start_us + LatencyFor(kind);
+  busy_until_us_ = sub.complete_us;
+  return sub;
+}
+
+const FlashSubmission& ChannelQueue::Submit(uint64_t id, FlashOpKind kind,
+                                            PhysicalAddress addr,
+                                            IoPurpose purpose, double now_us,
+                                            FlashCompletion on_complete) {
+  Pending p;
+  p.submission = Stamp(id, kind, addr, purpose, now_us);
+  p.on_complete = std::move(on_complete);
+  pending_.push_back(std::move(p));
+  return pending_.back().submission;
+}
+
+void ChannelQueue::TakePending(std::vector<Pending>* out) {
+  for (Pending& p : pending_) out->push_back(std::move(p));
+  pending_.clear();
+}
+
+ChannelArray::ChannelArray(uint32_t num_channels, LatencyModel latency) {
+  GECKO_CHECK_GE(num_channels, 1u);
+  channels_.reserve(num_channels);
+  for (ChannelId c = 0; c < num_channels; ++c) {
+    channels_.emplace_back(c, latency);
+  }
+}
+
+const FlashSubmission& ChannelArray::Submit(ChannelId c, FlashOpKind kind,
+                                            PhysicalAddress addr,
+                                            IoPurpose purpose,
+                                            FlashCompletion on_complete) {
+  GECKO_CHECK_LT(c, channels_.size());
+  const FlashSubmission& sub = channels_[c].Submit(
+      next_id_++, kind, addr, purpose, now_us_, std::move(on_complete));
+  uint32_t depth = static_cast<uint32_t>(channels_[c].depth());
+  if (depth > max_depth_since_drain_) max_depth_since_drain_ = depth;
+  return sub;
+}
+
+FlashSubmission ChannelArray::SubmitImmediate(ChannelId c, FlashOpKind kind,
+                                              PhysicalAddress addr,
+                                              IoPurpose purpose) {
+  GECKO_CHECK_LT(c, channels_.size());
+  FlashSubmission sub = channels_[c].Stamp(next_id_++, kind, addr, purpose,
+                                           now_us_);
+  now_us_ = std::max(now_us_, sub.complete_us);
+  return sub;
+}
+
+ChannelArray::DrainResult ChannelArray::Drain(
+    std::vector<FlashSubmission>* completed) {
+  std::vector<ChannelQueue::Pending> pending;
+  for (ChannelQueue& ch : channels_) ch.TakePending(&pending);
+
+  DrainResult result;
+  result.max_queue_depth = max_depth_since_drain_;
+  max_depth_since_drain_ = 0;
+  if (pending.empty()) return result;
+
+  // Retire in global completion-time order; ties (e.g. equal-latency ops
+  // started together on different channels) break by submission id so the
+  // order is deterministic.
+  std::sort(pending.begin(), pending.end(),
+            [](const ChannelQueue::Pending& a, const ChannelQueue::Pending& b) {
+              if (a.submission.complete_us != b.submission.complete_us) {
+                return a.submission.complete_us < b.submission.complete_us;
+              }
+              return a.submission.id < b.submission.id;
+            });
+
+  double finish = now_us_;
+  for (ChannelQueue::Pending& p : pending) {
+    finish = std::max(finish, p.submission.complete_us);
+    if (p.on_complete) p.on_complete(p.submission);
+    if (completed != nullptr) completed->push_back(p.submission);
+    ++result.ops;
+  }
+  result.elapsed_us = finish - now_us_;
+  now_us_ = finish;
+  return result;
+}
+
+}  // namespace gecko

@@ -1,0 +1,175 @@
+// Channel-parallel submission/completion pipeline for the flash device.
+//
+// Real very-large devices get their bandwidth from many independent
+// channels, not from faster cells (LFTL's parallel request queues; FMMU's
+// map-management pipeline). This module models that: every channel owns a
+// latency clock and an op queue; operations submitted to distinct channels
+// overlap in simulated time, while operations on one channel serialize in
+// submission order.
+//
+// The pipeline is a *timing* model layered over a functionally synchronous
+// simulator: data effects (page programming, erases) are committed by
+// FlashDevice at submission, in program order, so FTL logic never observes
+// reordering; what the queues decide is when each op *completes* on the
+// simulated clock. A batch of submissions therefore finishes in
+// max-per-channel time instead of sum-of-ops time, which is exactly the
+// speedup a channel-striped allocation policy buys.
+//
+// Lifecycle of one operation:
+//   1. Submit(): a FlashSubmission record is stamped with submit/start/
+//      complete times (start = max(device clock, channel busy-until)) and
+//      parked on its channel's queue, with an optional completion callback.
+//   2. Drain(): all parked submissions retire in global completion-time
+//      order, callbacks fire, and the device clock advances to the batch
+//      makespan end. FlashDevice drains after every op outside a batch
+//      window (serial semantics, identical to the pre-channel model) and
+//      once per window inside BeginBatch()/EndBatch().
+
+#ifndef GECKOFTL_FLASH_CHANNEL_QUEUE_H_
+#define GECKOFTL_FLASH_CHANNEL_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "flash/geometry.h"
+#include "flash/io_stats.h"  // IoPurpose
+#include "flash/latency.h"
+#include "flash/types.h"
+
+namespace gecko {
+
+/// The four physical operations a channel services.
+enum class FlashOpKind : uint8_t {
+  kPageWrite = 0,
+  kPageRead,
+  kSpareRead,
+  kErase,
+};
+
+const char* FlashOpKindName(FlashOpKind k);
+
+/// Submission record of one in-flight flash operation: identity, target,
+/// and its simulated timeline. `start_us - submit_us` is queueing delay
+/// behind earlier ops on the same channel; `complete_us - start_us` is the
+/// op's service latency.
+struct FlashSubmission {
+  uint64_t id = 0;             // globally unique, in submission order
+  ChannelId channel = 0;
+  FlashOpKind kind = FlashOpKind::kPageRead;
+  PhysicalAddress addr = kNullAddress;  // {block, 0} for erases
+  IoPurpose purpose = IoPurpose::kOther;
+  double submit_us = 0;        // device clock when submitted
+  double start_us = 0;         // when the channel began servicing it
+  double complete_us = 0;      // when the channel finished it
+
+  /// Pure service time on the channel (excludes queueing delay).
+  double ServiceUs() const { return complete_us - start_us; }
+  /// End-to-end latency as the host sees it (includes queueing delay).
+  double LatencyUs() const { return complete_us - submit_us; }
+};
+
+/// Completion callback, fired at drain time in completion-time order.
+using FlashCompletion = std::function<void(const FlashSubmission&)>;
+
+/// One flash channel: a FIFO op queue in front of a busy-until latency
+/// clock. Not shared across devices.
+class ChannelQueue {
+ public:
+  ChannelQueue(ChannelId id, LatencyModel latency);
+
+  /// Stamps one operation's timeline against the channel clock: start =
+  /// max(now_us, busy-until), complete = start + service latency, and
+  /// the channel stays busy until the completion. Does not park.
+  FlashSubmission Stamp(uint64_t id, FlashOpKind kind, PhysicalAddress addr,
+                        IoPurpose purpose, double now_us);
+
+  /// Stamps and parks one operation on the queue. Returns the stamped
+  /// submission record (stable until the next TakePending).
+  const FlashSubmission& Submit(uint64_t id, FlashOpKind kind,
+                                PhysicalAddress addr, IoPurpose purpose,
+                                double now_us, FlashCompletion on_complete);
+
+  /// Operations parked and not yet drained.
+  size_t depth() const { return pending_.size(); }
+
+  /// Simulated time at which the channel finishes its last accepted op.
+  double busy_until_us() const { return busy_until_us_; }
+
+  /// Service latency of `kind` under this channel's latency model.
+  double LatencyFor(FlashOpKind kind) const;
+
+  struct Pending {
+    FlashSubmission submission;
+    FlashCompletion on_complete;  // may be empty
+  };
+
+  /// Moves every parked submission into `*out` (queue order) and empties
+  /// the queue. The caller (ChannelArray) merges channels and fires
+  /// callbacks in global completion order.
+  void TakePending(std::vector<Pending>* out);
+
+ private:
+  ChannelId id_;
+  LatencyModel latency_;
+  std::deque<Pending> pending_;
+  double busy_until_us_ = 0;
+};
+
+/// All channels of one device plus the device-wide simulated clock.
+class ChannelArray {
+ public:
+  ChannelArray(uint32_t num_channels, LatencyModel latency);
+
+  uint32_t num_channels() const {
+    return static_cast<uint32_t>(channels_.size());
+  }
+  const ChannelQueue& channel(ChannelId c) const { return channels_[c]; }
+
+  /// Device-wide simulated clock; advances only at Drain().
+  double now_us() const { return now_us_; }
+
+  /// Submits one op on channel `c` at the current clock. Returns the
+  /// stamped record (valid until the next Drain()).
+  const FlashSubmission& Submit(ChannelId c, FlashOpKind kind,
+                                PhysicalAddress addr, IoPurpose purpose,
+                                FlashCompletion on_complete);
+
+  /// Serial fast lane: stamps one op on channel `c` and completes it
+  /// immediately, advancing the clock to its completion — equivalent to
+  /// Submit + Drain of a single op, without parking or sorting. Only
+  /// valid while no submissions are parked.
+  FlashSubmission SubmitImmediate(ChannelId c, FlashOpKind kind,
+                                  PhysicalAddress addr, IoPurpose purpose);
+
+  /// Current queue depth of channel `c` (submitted, not yet drained).
+  size_t depth(ChannelId c) const { return channels_[c].depth(); }
+
+  /// Highest queue depth any channel reached since the last Drain() —
+  /// the per-batch watermark reported in DrainResult. IoStats keeps the
+  /// separate *lifetime* watermark.
+  uint32_t max_depth_since_drain() const { return max_depth_since_drain_; }
+
+  struct DrainResult {
+    double elapsed_us = 0;      // clock advance: the batch's makespan
+    uint64_t ops = 0;           // submissions retired
+    uint32_t max_queue_depth = 0;  // deepest any channel got this batch
+  };
+
+  /// Retires every parked submission in global completion-time order,
+  /// firing callbacks, and advances the clock to the completion of the
+  /// last one. `completed`, if non-null, receives the retired records in
+  /// the same order. Draining an empty pipeline is a no-op.
+  DrainResult Drain(std::vector<FlashSubmission>* completed = nullptr);
+
+ private:
+  std::vector<ChannelQueue> channels_;
+  double now_us_ = 0;
+  uint64_t next_id_ = 1;
+  uint32_t max_depth_since_drain_ = 0;
+};
+
+}  // namespace gecko
+
+#endif  // GECKOFTL_FLASH_CHANNEL_QUEUE_H_

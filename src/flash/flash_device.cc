@@ -1,10 +1,13 @@
 #include "flash/flash_device.h"
 
+#include <utility>
+
 namespace gecko {
 
 FlashDevice::FlashDevice(const Geometry& geometry, LatencyModel latency)
     : geometry_(geometry),
-      stats_(latency),
+      stats_(latency, geometry.num_channels),
+      channels_(geometry.num_channels, latency),
       pages_(geometry.TotalPages()),
       blocks_(geometry.num_blocks) {
   geometry_.Validate();
@@ -17,8 +20,55 @@ void FlashDevice::CheckAddress(PhysicalAddress addr) const {
       << "page out of range: " << addr.ToString();
 }
 
+void FlashDevice::BeginBatch() { ++batch_depth_; }
+
+FlashDevice::BatchResult FlashDevice::EndBatch() {
+  GECKO_CHECK_GT(batch_depth_, 0u) << "EndBatch without BeginBatch";
+  --batch_depth_;
+  if (batch_depth_ > 0) return BatchResult{};
+  return DrainChannels();
+}
+
+FlashDevice::BatchResult FlashDevice::DrainChannels() {
+  std::vector<FlashSubmission> completed;
+  ChannelArray::DrainResult drained = channels_.Drain(&completed);
+  for (const FlashSubmission& sub : completed) {
+    stats_.OnChannelComplete(sub.channel, sub.ServiceUs());
+  }
+  stats_.AdvanceElapsed(drained.elapsed_us);
+  BatchResult result;
+  result.elapsed_us = drained.elapsed_us;
+  result.ops = drained.ops;
+  result.max_queue_depth = drained.max_queue_depth;
+  return result;
+}
+
+void FlashDevice::SubmitOp(FlashOpKind kind, PhysicalAddress addr,
+                           IoPurpose purpose, FlashCompletion on_complete) {
+  ChannelId channel = ChannelOf(addr.block);
+  stats_.OnChannelSubmit(channel);
+  if (batch_depth_ == 0) {
+    // Serial fast lane: no parking, no drain sort — stamp, complete, and
+    // account inline. Timing-equivalent to Submit + Drain of one op.
+    double before = channels_.now_us();
+    FlashSubmission sub =
+        channels_.SubmitImmediate(channel, kind, addr, purpose);
+    stats_.OnChannelComplete(channel, sub.ServiceUs());
+    stats_.AdvanceElapsed(channels_.now_us() - before);
+    if (on_complete) on_complete(sub);
+    return;
+  }
+  channels_.Submit(channel, kind, addr, purpose, std::move(on_complete));
+}
+
 uint64_t FlashDevice::WritePage(PhysicalAddress addr, SpareArea spare,
                                 uint64_t payload, IoPurpose purpose) {
+  return WritePageAsync(addr, spare, payload, purpose, nullptr);
+}
+
+uint64_t FlashDevice::WritePageAsync(PhysicalAddress addr, SpareArea spare,
+                                     uint64_t payload, IoPurpose purpose,
+                                     FlashCompletion on_complete) {
   CheckAddress(addr);
   BlockRecord& block = blocks_[addr.block];
   // NAND rule (4): programs within a block must be sequential, and rule (2):
@@ -38,24 +88,44 @@ uint64_t FlashDevice::WritePage(PhysicalAddress addr, SpareArea spare,
   page.spare = spare;
   ++block.write_pointer;
   stats_.OnPageWrite(purpose);
+  SubmitOp(FlashOpKind::kPageWrite, addr, purpose, std::move(on_complete));
   return spare.seq;
 }
 
 PageReadResult FlashDevice::ReadPage(PhysicalAddress addr, IoPurpose purpose) {
+  return ReadPageAsync(addr, purpose, nullptr);
+}
+
+PageReadResult FlashDevice::ReadPageAsync(PhysicalAddress addr,
+                                          IoPurpose purpose,
+                                          FlashCompletion on_complete) {
   CheckAddress(addr);
   stats_.OnPageRead(purpose);
+  SubmitOp(FlashOpKind::kPageRead, addr, purpose, std::move(on_complete));
   const PageRecord& page = pages_[FlatIndex(addr)];
   return PageReadResult{page.written, page.payload, page.spare};
 }
 
 PageReadResult FlashDevice::ReadSpare(PhysicalAddress addr, IoPurpose purpose) {
+  return ReadSpareAsync(addr, purpose, nullptr);
+}
+
+PageReadResult FlashDevice::ReadSpareAsync(PhysicalAddress addr,
+                                           IoPurpose purpose,
+                                           FlashCompletion on_complete) {
   CheckAddress(addr);
   stats_.OnSpareRead(purpose);
+  SubmitOp(FlashOpKind::kSpareRead, addr, purpose, std::move(on_complete));
   const PageRecord& page = pages_[FlatIndex(addr)];
   return PageReadResult{page.written, 0, page.spare};
 }
 
 void FlashDevice::EraseBlock(BlockId block_id, IoPurpose purpose) {
+  EraseBlockAsync(block_id, purpose, nullptr);
+}
+
+void FlashDevice::EraseBlockAsync(BlockId block_id, IoPurpose purpose,
+                                  FlashCompletion on_complete) {
   GECKO_CHECK_LT(block_id, geometry_.num_blocks);
   BlockRecord& block = blocks_[block_id];
   uint64_t base = uint64_t{block_id} * geometry_.pages_per_block;
@@ -67,6 +137,8 @@ void FlashDevice::EraseBlock(BlockId block_id, IoPurpose purpose) {
   block.last_erase_seq = next_seq_++;
   ++global_erase_count_;
   stats_.OnErase(purpose);
+  SubmitOp(FlashOpKind::kErase, PhysicalAddress{block_id, 0}, purpose,
+           std::move(on_complete));
 }
 
 uint32_t FlashDevice::PagesWritten(BlockId block) const {

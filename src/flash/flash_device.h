@@ -14,6 +14,16 @@
 // return the wrong token for a logical page), while letting simulations
 // model terabyte-scale metadata behaviour in megabytes of host RAM.
 //
+// Channel parallelism: the device is striped across Geometry::num_channels
+// independent channels (block k lives on channel k mod num_channels), each
+// with its own op queue and latency clock (flash/channel_queue.h). Data
+// effects always commit synchronously in program order; the channels model
+// *time*. Outside a batch window every op drains immediately, which
+// reproduces the serial single-unit model exactly. Inside a
+// BeginBatch()/EndBatch() window, submissions park on their channel queues
+// and the window completes in max-per-channel time — the mechanism by
+// which a striped scatter-gather batch gets N-channel speedup.
+//
 // Power failure: flash contents (payloads + spare areas + erase counters)
 // persist; only FTL RAM structures are lost. The device itself therefore
 // needs no power-failure hook; FTLs expose CrashAndRecover() on top of it.
@@ -24,6 +34,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "flash/channel_queue.h"
 #include "flash/geometry.h"
 #include "flash/io_stats.h"
 #include "flash/latency.h"
@@ -42,14 +53,61 @@ struct PageReadResult {
 /// Simulated NAND flash device. Not thread-safe; one per simulation.
 class FlashDevice {
  public:
+  /// Builds a device with `geometry.num_channels` channel queues, all
+  /// sharing one latency model. Aborts on an invalid geometry.
   FlashDevice(const Geometry& geometry, LatencyModel latency = LatencyModel());
 
   FlashDevice(const FlashDevice&) = delete;
   FlashDevice& operator=(const FlashDevice&) = delete;
 
+  /// The device's immutable architectural parameters.
   const Geometry& geometry() const { return geometry_; }
+  /// IO accounting: op counts per purpose, simulated time, and per-channel
+  /// busy time / queue depth.
   IoStats& stats() { return stats_; }
   const IoStats& stats() const { return stats_; }
+
+  /// Channel hosting `block` (block-interleaved striping).
+  ChannelId ChannelOf(BlockId block) const {
+    return geometry_.ChannelOf(block);
+  }
+  uint32_t num_channels() const { return geometry_.num_channels; }
+
+  // --- Async submission/completion pipeline ------------------------------
+
+  /// Opens a batch window: subsequent ops park on their channel queues
+  /// instead of draining immediately, so ops on distinct channels overlap
+  /// in simulated time. Windows nest (BaseFtl::Submit opens one around
+  /// each request; GC triggered inside rides the same window); only the
+  /// outermost EndBatch() drains.
+  void BeginBatch();
+
+  /// What one drained batch window cost.
+  struct BatchResult {
+    double elapsed_us = 0;         // makespan: max-per-channel, not sum
+    uint64_t ops = 0;              // flash ops the window submitted
+    uint32_t max_queue_depth = 0;  // deepest any channel queue got
+  };
+
+  /// Closes the innermost batch window. The outermost close drains every
+  /// queued op — completion callbacks fire in completion-time order — and
+  /// advances the simulated clock by the window's makespan. Inner closes
+  /// return a zeroed BatchResult.
+  BatchResult EndBatch();
+
+  /// Whether a batch window is open.
+  bool in_batch() const { return batch_depth_ > 0; }
+
+  /// Simulated device clock in microseconds (mirrors stats().elapsed_us()
+  /// up to stats Reset()).
+  double now_us() const { return channels_.now_us(); }
+
+  // --- Page operations ----------------------------------------------------
+  // Each op charges its IoStats count at submission. Timing: outside a
+  // batch window the op also completes immediately (clock += latency);
+  // inside a window it completes at EndBatch(). The *Async variants
+  // additionally register a completion callback, fired at drain time with
+  // the op's submission record (queueing + service timeline).
 
   /// Programs the next free page of `addr.block`; `addr.page` must equal the
   /// block's write pointer (sequential-programming rule). The device stamps
@@ -58,16 +116,35 @@ class FlashDevice {
   uint64_t WritePage(PhysicalAddress addr, SpareArea spare, uint64_t payload,
                      IoPurpose purpose);
 
-  /// Reads a full page (payload + spare). Charged one page read.
+  /// WritePage + completion callback.
+  uint64_t WritePageAsync(PhysicalAddress addr, SpareArea spare,
+                          uint64_t payload, IoPurpose purpose,
+                          FlashCompletion on_complete);
+
+  /// Reads a full page (payload + spare). Charged one page read. The data
+  /// is returned immediately even inside a batch window (data effects are
+  /// synchronous; the channel queue models when the read *completes*).
   PageReadResult ReadPage(PhysicalAddress addr, IoPurpose purpose);
+
+  /// ReadPage + completion callback.
+  PageReadResult ReadPageAsync(PhysicalAddress addr, IoPurpose purpose,
+                               FlashCompletion on_complete);
 
   /// Reads only the spare area (~32x cheaper than a page read). Reading the
   /// spare of an unprogrammed page returns written=false with a blank spare,
   /// which is how recovery scans detect free pages/blocks.
   PageReadResult ReadSpare(PhysicalAddress addr, IoPurpose purpose);
 
+  /// ReadSpare + completion callback.
+  PageReadResult ReadSpareAsync(PhysicalAddress addr, IoPurpose purpose,
+                                FlashCompletion on_complete);
+
   /// Erases a block: all pages become free, the wear counter increments.
   void EraseBlock(BlockId block, IoPurpose purpose);
+
+  /// EraseBlock + completion callback.
+  void EraseBlockAsync(BlockId block, IoPurpose purpose,
+                       FlashCompletion on_complete);
 
   // --- Introspection (no IO charge; used by tests, invariant checks, and
   // --- RAM-resident FTL bookkeeping that mirrors what firmware would know).
@@ -75,6 +152,7 @@ class FlashDevice {
   /// Number of pages programmed in `block` since its last erase.
   uint32_t PagesWritten(BlockId block) const;
 
+  /// Whether `addr` holds a programmed (not-yet-erased) page.
   bool IsWritten(PhysicalAddress addr) const;
 
   /// Lifetime erase count of `block`.
@@ -89,6 +167,7 @@ class FlashDevice {
   /// Sequence number at which `block` was last erased (0 if never).
   uint64_t LastEraseSeq(BlockId block) const;
 
+  /// Flat page index of `addr` (block-major), for dense per-page arrays.
   uint64_t FlatIndex(PhysicalAddress addr) const {
     return uint64_t{addr.block} * geometry_.pages_per_block + addr.page;
   }
@@ -108,12 +187,23 @@ class FlashDevice {
 
   void CheckAddress(PhysicalAddress addr) const;
 
+  /// Routes one op through its block's channel queue: charges queue-depth
+  /// stats, and drains immediately unless a batch window is open.
+  void SubmitOp(FlashOpKind kind, PhysicalAddress addr, IoPurpose purpose,
+                FlashCompletion on_complete);
+
+  /// Drains the channel pipeline into IoStats (busy time, completions,
+  /// clock advance) and fires completion callbacks.
+  BatchResult DrainChannels();
+
   Geometry geometry_;
   IoStats stats_;
+  ChannelArray channels_;
   std::vector<PageRecord> pages_;
   std::vector<BlockRecord> blocks_;
   uint64_t next_seq_ = 1;
   uint64_t global_erase_count_ = 0;
+  uint32_t batch_depth_ = 0;
 };
 
 }  // namespace gecko

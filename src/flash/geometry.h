@@ -1,4 +1,5 @@
-// Device geometry: the architectural parameters of Figure 2 in the paper.
+// Device geometry: the architectural parameters of Figure 2 in the paper,
+// extended with the channel/die topology of real very-large devices.
 
 #ifndef GECKOFTL_FLASH_GEOMETRY_H_
 #define GECKOFTL_FLASH_GEOMETRY_H_
@@ -9,14 +10,28 @@
 
 namespace gecko {
 
+/// Index of one flash channel (an independent bus with its own latency
+/// clock; see flash/channel_queue.h).
+using ChannelId = uint32_t;
+
 /// Architectural parameters of a simulated flash device. Symbols follow the
 /// paper: K blocks, B pages per block, P bytes per page, R the ratio of
 /// logical to physical capacity (over-provisioning = 1 - R).
+///
+/// Channels/dies: a very large device is built from `num_channels`
+/// independent channels, each hosting `dies_per_channel` dies. Blocks are
+/// interleaved across channels (block k lives on channel k mod
+/// num_channels), so consecutive block allocations naturally land on
+/// distinct channels. Operations on different channels proceed in
+/// parallel; dies on one channel share its bus and therefore its latency
+/// clock (bus-limited model).
 struct Geometry {
   uint32_t num_blocks = 1024;       // K
   uint32_t pages_per_block = 128;   // B
   uint32_t page_bytes = 4096;       // P
   double logical_ratio = 0.7;       // R
+  uint32_t num_channels = 1;        // independent parallel channels
+  uint32_t dies_per_channel = 1;    // dies sharing one channel bus
 
   uint64_t TotalPages() const {
     return uint64_t{num_blocks} * pages_per_block;
@@ -46,12 +61,28 @@ struct Geometry {
   /// Translation table size in bytes (4 * K * B * R in the paper).
   uint64_t TranslationTableBytes() const { return NumLogicalPages() * 4; }
 
+  /// Channel hosting `block` (block-interleaved striping). Dies on one
+  /// channel share its bus and therefore its latency clock, so placement
+  /// is decided at channel granularity only.
+  ChannelId ChannelOf(uint32_t block) const { return block % num_channels; }
+
   void Validate() const {
     GECKO_CHECK_GT(num_blocks, 0u);
     GECKO_CHECK_GT(pages_per_block, 0u);
     GECKO_CHECK_GE(page_bytes, 64u);
     GECKO_CHECK_GT(logical_ratio, 0.0);
     GECKO_CHECK_LT(logical_ratio, 1.0);
+    GECKO_CHECK_GE(num_channels, 1u);
+    GECKO_CHECK_LE(num_channels, num_blocks);
+    GECKO_CHECK_GE(dies_per_channel, 1u);
+  }
+
+  /// Returns a copy with the channel count replaced (builder-style, for
+  /// channel-scaling sweeps).
+  Geometry WithChannels(uint32_t channels) const {
+    Geometry g = *this;
+    g.num_channels = channels;
+    return g;
   }
 
   /// The paper's running example (Figure 2): a 2 TB device.
@@ -61,6 +92,8 @@ struct Geometry {
     g.pages_per_block = 1u << 7;  // B = 2^7
     g.page_bytes = 1u << 12;      // P = 2^12
     g.logical_ratio = 0.7;
+    g.num_channels = 16;          // modern enterprise-card topology
+    g.dies_per_channel = 4;
     return g;
   }
 

@@ -1,16 +1,21 @@
-// IO accounting for the flash device, broken down by purpose.
+// IO accounting for the flash device, broken down by purpose and channel.
 //
 // Every device operation is tagged with an IoPurpose so experiments can
 // report the write-amplification breakdown of Figure 13 (user data vs.
 // translation metadata vs. page-validity metadata) and the per-interval
-// series of Figure 9.
+// series of Figure 9. The channel-parallel backend additionally feeds
+// per-channel busy time and queue-depth watermarks through the
+// OnChannelSubmit/OnChannelComplete hooks, so experiments can report
+// channel utilization (busy time / simulated elapsed time).
 
 #ifndef GECKOFTL_FLASH_IO_STATS_H_
 #define GECKOFTL_FLASH_IO_STATS_H_
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "flash/latency.h"
 
@@ -73,36 +78,84 @@ struct IoCounters {
   std::string DebugString() const;
 };
 
-/// Mutable accumulator owned by the FlashDevice. Also integrates modeled
-/// time from the LatencyModel so recovery experiments can report seconds.
+/// Mutable accumulator owned by the FlashDevice. Operation *counts* are
+/// recorded at submission time (OnPageRead & co.); simulated *time* flows
+/// in from the channel pipeline (AdvanceElapsed / OnChannelComplete), so
+/// elapsed_us() reflects channel overlap: a striped batch advances the
+/// clock by its makespan, not by the sum of its op latencies. With one
+/// channel — or serial submission — the two coincide.
 class IoStats {
  public:
-  explicit IoStats(LatencyModel latency = LatencyModel())
-      : latency_(latency) {}
+  explicit IoStats(LatencyModel latency = LatencyModel(),
+                   uint32_t num_channels = 1)
+      : latency_(latency),
+        channel_busy_us_(num_channels, 0.0),
+        channel_ops_(num_channels, 0),
+        channel_depth_(num_channels, 0) {}
 
   void OnPageRead(IoPurpose p) {
     ++counters_.page_reads[static_cast<int>(p)];
-    elapsed_us_ += latency_.page_read_us;
   }
   void OnPageWrite(IoPurpose p) {
     ++counters_.page_writes[static_cast<int>(p)];
-    elapsed_us_ += latency_.page_write_us;
   }
   void OnSpareRead(IoPurpose p) {
     ++counters_.spare_reads[static_cast<int>(p)];
-    elapsed_us_ += latency_.spare_read_us;
   }
   void OnErase(IoPurpose p) {
     ++counters_.erases[static_cast<int>(p)];
-    elapsed_us_ += latency_.erase_us;
   }
   void OnLogicalWrite() { ++counters_.logical_writes; }
   void OnLogicalRead() { ++counters_.logical_reads; }
   void OnLogicalTrim() { ++counters_.logical_trims; }
 
+  // --- Channel pipeline hooks (fed by FlashDevice) ----------------------
+
+  /// An op entered channel `c`'s queue: queue-depth accounting.
+  void OnChannelSubmit(uint32_t c) {
+    ++submissions_;
+    uint32_t depth = ++channel_depth_[c];
+    if (depth > max_queue_depth_) max_queue_depth_ = depth;
+  }
+
+  /// An op on channel `c` retired after `service_us` of channel time.
+  void OnChannelComplete(uint32_t c, double service_us) {
+    --channel_depth_[c];
+    channel_busy_us_[c] += service_us;
+    ++channel_ops_[c];
+  }
+
+  /// Advances the simulated clock by one drained batch's makespan.
+  void AdvanceElapsed(double us) { elapsed_us_ += us; }
+
   const IoCounters& counters() const { return counters_; }
   const LatencyModel& latency() const { return latency_; }
+  /// Simulated time: sum of drained-batch makespans (channel-overlapped).
   double elapsed_us() const { return elapsed_us_; }
+
+  uint32_t num_channels() const {
+    return static_cast<uint32_t>(channel_busy_us_.size());
+  }
+  /// Total channel-busy time of channel `c` (service time, no queueing).
+  double ChannelBusyUs(uint32_t c) const { return channel_busy_us_[c]; }
+  /// Ops retired by channel `c`.
+  uint64_t ChannelOps(uint32_t c) const { return channel_ops_[c]; }
+  /// Fraction of simulated time channel `c` spent servicing ops, in [0,1].
+  double ChannelUtilization(uint32_t c) const {
+    return elapsed_us_ > 0 ? channel_busy_us_[c] / elapsed_us_ : 0.0;
+  }
+  /// Utilization of every channel (index = channel id).
+  std::vector<double> ChannelUtilizations() const {
+    std::vector<double> out(num_channels());
+    for (uint32_t c = 0; c < num_channels(); ++c) {
+      out[c] = ChannelUtilization(c);
+    }
+    return out;
+  }
+  /// Deepest any channel queue ever got (lifetime watermark).
+  uint32_t max_queue_depth() const { return max_queue_depth_; }
+  /// Lifetime submissions across all channels.
+  uint64_t total_submissions() const { return submissions_; }
 
   /// Snapshot for interval measurements (Figure 9 uses 10k-write windows).
   IoCounters Snapshot() const { return counters_; }
@@ -110,12 +163,23 @@ class IoStats {
   void Reset() {
     counters_ = IoCounters();
     elapsed_us_ = 0;
+    std::fill(channel_busy_us_.begin(), channel_busy_us_.end(), 0.0);
+    std::fill(channel_ops_.begin(), channel_ops_.end(), uint64_t{0});
+    // channel_depth_ is live pipeline state, not a statistic: in-flight
+    // submissions still complete after a Reset.
+    max_queue_depth_ = 0;
+    submissions_ = 0;
   }
 
  private:
   LatencyModel latency_;
   IoCounters counters_;
   double elapsed_us_ = 0;
+  std::vector<double> channel_busy_us_;
+  std::vector<uint64_t> channel_ops_;
+  std::vector<uint32_t> channel_depth_;
+  uint32_t max_queue_depth_ = 0;
+  uint64_t submissions_ = 0;
 };
 
 }  // namespace gecko

@@ -12,6 +12,10 @@
 
 namespace gecko {
 
+/// "No stream": the allocator is free to place the page anywhere (it
+/// round-robins across channels for maximum parallelism).
+inline constexpr uint32_t kNoStream = kInvalidU32;
+
 /// Allocates flash pages append-only and tracks metadata-page liveness so
 /// fully-invalid metadata blocks can be erased (the GeckoFTL GC policy for
 /// metadata, Section 4.2).
@@ -22,7 +26,16 @@ class PageAllocator {
   /// Returns the address of the next free page for content of `type`.
   /// The caller must program it immediately (the device enforces sequential
   /// programming). Aborts if the device is configured too small.
-  virtual PhysicalAddress AllocatePage(PageType type) = 0;
+  ///
+  /// `stream` is a placement hint for channel-striped allocators: pages of
+  /// one stream append to one stripe slot (clustered, so metadata that
+  /// dies together — one Gecko run, one translation page's version chain —
+  /// frees whole blocks together), while different streams land on
+  /// different channels (stream % num_channels) and proceed in parallel.
+  /// kNoStream round-robins across channels; pages with uniform lifetimes
+  /// (user data, FIFO logs) use it for maximum striping.
+  virtual PhysicalAddress AllocatePage(PageType type,
+                                       uint32_t stream = kNoStream) = 0;
 
   /// Marks a previously-written metadata page obsolete. When every page of
   /// a metadata block is obsolete, the implementation may erase the block.

@@ -1,7 +1,5 @@
 #include "flash/simple_allocator.h"
 
-#include <unordered_set>
-
 namespace gecko {
 
 SimpleAllocator::SimpleAllocator(FlashDevice* device, BlockId first_block,
@@ -10,25 +8,50 @@ SimpleAllocator::SimpleAllocator(FlashDevice* device, BlockId first_block,
       first_block_(first_block),
       num_blocks_(num_blocks),
       erase_purpose_(erase_purpose),
+      stripe_(device->geometry().num_channels),
+      actives_(stripe_, kNullAddress),
+      free_pool_(stripe_),
       live_count_(num_blocks, 0) {
   GECKO_CHECK_LE(uint64_t{first_block} + num_blocks,
                  device->geometry().num_blocks);
   for (uint32_t i = 0; i < num_blocks; ++i) {
-    free_blocks_.push_back(first_block + i);
+    PushFreeBlock(first_block + i);
   }
 }
 
-PhysicalAddress SimpleAllocator::AllocatePage(PageType type) {
+bool SimpleAllocator::IsActiveBlock(BlockId block) const {
+  for (const PhysicalAddress& a : actives_) {
+    if (a.IsValid() && a.block == block) return true;
+  }
+  return false;
+}
+
+void SimpleAllocator::PushFreeBlock(BlockId block) {
+  free_pool_.Push(block, device_->ChannelOf(block));
+}
+
+PhysicalAddress SimpleAllocator::AllocatePage(PageType type, uint32_t stream) {
   (void)type;
   const uint32_t pages_per_block = device_->geometry().pages_per_block;
-  if (!active_.IsValid() || active_.page >= pages_per_block) {
-    GECKO_CHECK(!free_blocks_.empty())
-        << "SimpleAllocator out of blocks; enlarge the metadata region";
-    active_ = PhysicalAddress{free_blocks_.front(), 0};
-    free_blocks_.pop_front();
+  uint32_t slot;
+  if (stream != kNoStream) {
+    slot = stream % stripe_;  // stream-affine: see PageAllocator
+  } else {
+    slot = next_slot_;
+    next_slot_ = (next_slot_ + 1) % stripe_;
   }
-  PhysicalAddress out = active_;
-  ++active_.page;
+  PhysicalAddress* active = &actives_[slot];
+  if (!active->IsValid() || active->page >= pages_per_block) {
+    BlockId retired = active->IsValid() ? active->block : kInvalidU32;
+    GECKO_CHECK_GT(free_pool_.size(), 0u)
+        << "SimpleAllocator out of blocks; enlarge the metadata region";
+    *active = PhysicalAddress{free_pool_.Take(slot), 0};
+    // Re-check a retiring active: it may have become fully invalid while
+    // it was still the append target (skipped by EraseIfFullyInvalid).
+    if (retired != kInvalidU32) EraseIfFullyInvalid(retired);
+  }
+  PhysicalAddress out = *active;
+  ++active->page;
   ++live_count_[out.block - first_block_];
   return out;
 }
@@ -45,12 +68,12 @@ void SimpleAllocator::OnMetadataPageInvalidated(PhysicalAddress addr) {
 
 void SimpleAllocator::EraseIfFullyInvalid(BlockId block) {
   uint32_t idx = block - first_block_;
-  // The active block is never erased: its free tail is still needed.
-  if (active_.IsValid() && block == active_.block) return;
+  // An active block is never erased: its free tail is still needed.
+  if (IsActiveBlock(block)) return;
   if (live_count_[idx] != 0) return;
   if (device_->PagesWritten(block) == 0) return;  // already free
   device_->EraseBlock(block, erase_purpose_);
-  free_blocks_.push_back(block);
+  PushFreeBlock(block);
   ++blocks_erased_;
 }
 
@@ -67,8 +90,9 @@ std::vector<BlockId> SimpleAllocator::NonFreeBlocks() const {
 void SimpleAllocator::RecoverRamState(
     const std::vector<PhysicalAddress>& live_pages) {
   std::fill(live_count_.begin(), live_count_.end(), 0);
-  free_blocks_.clear();
-  active_ = kNullAddress;
+  free_pool_.Clear();
+  std::fill(actives_.begin(), actives_.end(), kNullAddress);
+  next_slot_ = 0;
   for (const PhysicalAddress& pa : live_pages) {
     GECKO_CHECK_GE(pa.block, first_block_);
     GECKO_CHECK_LT(pa.block, first_block_ + num_blocks_);
@@ -77,16 +101,16 @@ void SimpleAllocator::RecoverRamState(
   for (uint32_t i = 0; i < num_blocks_; ++i) {
     BlockId block = first_block_ + i;
     if (device_->PagesWritten(block) == 0) {
-      free_blocks_.push_back(block);
+      PushFreeBlock(block);
     } else if (live_count_[i] == 0) {
       // Only dead pages (e.g. a half-written run): reclaim immediately.
       device_->EraseBlock(block, erase_purpose_);
-      free_blocks_.push_back(block);
+      PushFreeBlock(block);
       ++blocks_erased_;
     }
   }
   // Partially-written blocks with live pages are abandoned as append
-  // targets; a fresh active block is taken on the next allocation. Their
+  // targets; fresh active blocks are taken on the next allocations. Their
   // free tail pages are reclaimed when the block becomes fully invalid.
 }
 

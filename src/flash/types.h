@@ -35,8 +35,15 @@ struct PhysicalAddress {
     return block != o.block ? block < o.block : page < o.page;
   }
 
+  // Built with append rather than operator+ chains: GCC 12's -Wrestrict
+  // false-positives on the inlined concatenation under -O2.
   std::string ToString() const {
-    return "(" + std::to_string(block) + "," + std::to_string(page) + ")";
+    std::string s = "(";
+    s += std::to_string(block);
+    s += ',';
+    s += std::to_string(page);
+    s += ')';
+    return s;
   }
 };
 

@@ -35,7 +35,9 @@ Status BaseFtl::Submit(IoRequest& request, IoResult* result) {
       return res.status;
     }
     ++counters_.flushes;
+    device_->BeginBatch();
     FlushAll();
+    device_->EndBatch();
     return res.status;
   }
   if (n == 0) {
@@ -48,6 +50,12 @@ Status BaseFtl::Submit(IoRequest& request, IoResult* result) {
     counters_.batched_pages += n;
   }
 
+  // One batch window per request: every flash op the request triggers —
+  // data pages, translation commits, PVM chunk writes, even GC it forces
+  // — parks on its block's channel queue, and the window completes in
+  // max-per-channel time. Channel-striped allocation spreads the batch,
+  // so an N-channel device services it up to N times faster.
+  device_->BeginBatch();
   switch (request.op) {
     case IoOp::kWrite:
       if (n == 1) {
@@ -77,6 +85,7 @@ Status BaseFtl::Submit(IoRequest& request, IoResult* result) {
     case IoOp::kFlush:
       break;  // handled above
   }
+  device_->EndBatch();
   return res.status;
 }
 
@@ -118,6 +127,9 @@ Status BaseFtl::WriteExtent(Lpn lpn, uint64_t payload, bool tombstone,
     // The cached address is the before-image: identify it immediately
     // (Section 4.1, "Application Writes"). The UIP flag is left as is —
     // an older unidentified image may still exist.
+#ifdef GECKO_DEBUG_GC_GROUND_TRUTH
+    DebugCheckNotAuthoritative(entry->ppa, "write-hit");
+#endif
     ReportInvalid(entry->ppa);
     cache_.MarkDirty(entry);
     entry->ppa = ppa;
@@ -135,6 +147,9 @@ Status BaseFtl::WriteExtent(Lpn lpn, uint64_t payload, bool tombstone,
       // where one read covers every before-image of the page.
       PhysicalAddress old =
           translation_.Lookup(lpn, IoPurpose::kTranslation);
+#ifdef GECKO_DEBUG_GC_GROUND_TRUTH
+      if (old.IsValid()) DebugCheckNotAuthoritative(old, "write-miss");
+#endif
       if (old.IsValid()) ReportInvalid(old);
       uip = false;
     }
@@ -328,7 +343,9 @@ void BaseFtl::MaybeWearLevel() {
   if (victim != kInvalidU32 && blocks_.BlockType(victim) == PageType::kUser &&
       !blocks_.IsActive(victim) && !blocks_.IsPinned(victim) && !in_gc_) {
     in_gc_ = true;
+    blocks_.set_compact_mode(true);
     CollectUserBlock(victim);
+    blocks_.set_compact_mode(false);
     in_gc_ = false;
   }
 }
@@ -514,6 +531,10 @@ void BaseFtl::EnsureFreeSpace() {
   // A single collection can be transiently net-zero (migrations and
   // metadata read-modify-writes consume pages before the victim's erase
   // frees them), so progress is checked across the loop, not per round.
+  // While GC runs, the block manager allocates in compact mode: without
+  // it, channel striping could open a fresh active on every stripe slot
+  // of every group mid-collection and starve the pool.
+  blocks_.set_compact_mode(true);
   uint64_t rounds = 0;
   while (blocks_.NumFreeBlocks() < config_.gc_free_block_threshold) {
     CollectOneBlock();
@@ -544,6 +565,7 @@ void BaseFtl::EnsureFreeSpace() {
     GECKO_CHECK_LE(++rounds, uint64_t{2} * device_->geometry().num_blocks)
         << "GC livelock: no net space reclaimed";
   }
+  blocks_.set_compact_mode(false);
   in_gc_ = false;
 }
 
@@ -841,25 +863,51 @@ void BaseFtl::BackwardScanRecoverEntries(uint64_t scan_bound, bool mark_uip,
               return a.last_seq > b.last_seq;
             });
 
-  // Budget: checkpoints bound the scan to ~2 * period pages (Section 4.3);
-  // blocks resumed across recoveries can interleave their page times with
-  // other blocks', so allow two extra blocks of slack before cutting off.
+  // Budget: checkpoints bound the scan to ~2 * period pages (Section 4.3).
+  // Channel striping interleaves the freshest writes across one partial
+  // user block per channel (plus blocks resumed across recoveries can
+  // interleave their page times with other blocks'), so allow one block of
+  // slack per channel, plus one, before cutting off.
   const Geometry& g = device_->geometry();
-  uint64_t budget = 2 * scan_bound + 2 * g.pages_per_block;
+  uint64_t budget =
+      2 * scan_bound + uint64_t{g.num_channels + 1} * g.pages_per_block;
   struct Copy {
     PhysicalAddress addr;
     uint64_t seq;
   };
+  // The scan runs to its budget, never stopping early on a count: with
+  // channel striping the block-by-block order is not global reverse
+  // write order (the freshest writes interleave across one partial block
+  // per channel), so a count-based stop could fill up on older pages of
+  // an early block while the newest copies of other lpns still sit in
+  // unscanned stripe blocks — recovering stale mappings and, worse,
+  // letting GC treat the true newest copies as stale. Instead the scan
+  // tracks its *coverage horizon*: the newest sequence number that might
+  // live on an unscanned page. Only candidates above the horizon are
+  // trusted (every newer copy of such an lpn was provably scanned); the
+  // newest C of those, by sequence number, become cache entries.
   std::map<Lpn, Copy> newest;  // newest on-flash copy per lpn, by seq
+  uint64_t horizon = 0;        // newest possibly-unscanned seq
   for (const UserBlock& ub : user_blocks) {
-    if (budget == 0 || newest.size() >= cache_.capacity()) break;
+    if (budget == 0) {
+      // Block never reached: all of its pages are unscanned.
+      horizon = std::max(horizon, ub.last_seq);
+      continue;
+    }
     uint32_t written = device_->PagesWritten(ub.block);
+    uint64_t last_read_seq = 0;
     for (uint32_t i = written; i-- > 0;) {
-      if (budget == 0 || newest.size() >= cache_.capacity()) break;
+      if (budget == 0) {
+        // Stopped mid-block: the unscanned prefix is strictly older than
+        // the last page read (seqs ascend with page index in a block).
+        if (last_read_seq > 0) horizon = std::max(horizon, last_read_seq - 1);
+        break;
+      }
       PhysicalAddress addr{ub.block, i};
       PageReadResult r = device_->ReadSpare(addr, IoPurpose::kRecovery);
       ++step.spare_reads;
       --budget;
+      if (r.written) last_read_seq = r.spare.seq;
       if (!r.written || !r.spare.IsUser()) continue;
       Lpn lpn = r.spare.key;
       auto [it, inserted] = newest.emplace(lpn, Copy{addr, r.spare.seq});
@@ -883,11 +931,24 @@ void BaseFtl::BackwardScanRecoverEntries(uint64_t scan_bound, bool mark_uip,
     }
   }
 
-  // Insert oldest-first so the LRU order reflects write recency.
-  std::vector<std::pair<Lpn, Copy>> found(newest.begin(), newest.end());
+  // Candidates at or below the horizon are untrusted — an unscanned
+  // newer copy may exist, and installing (or later syncing) the stale
+  // one would regress the translation table. They are also unnecessary:
+  // the budget covers the checkpoint bound, so any mapping older than
+  // the horizon was already synchronized. (Their duplicate reports above
+  // stay valid: those are pairwise seq-verified.) Of the trusted
+  // candidates keep the newest C by seq, and insert oldest-first so the
+  // LRU order reflects write recency.
+  std::vector<std::pair<Lpn, Copy>> found;
+  for (const auto& [lpn, copy] : newest) {
+    if (copy.seq > horizon) found.emplace_back(lpn, copy);
+  }
   std::sort(found.begin(), found.end(), [](const auto& a, const auto& b) {
     return a.second.seq < b.second.seq;
   });
+  if (found.size() > cache_.capacity()) {
+    found.erase(found.begin(), found.end() - cache_.capacity());
+  }
   for (const auto& [lpn, copy] : found) {
     while (cache_.NeedsEviction()) cache_.Erase(cache_.PeekLru());
     cache_.Insert(lpn, MappingEntry{copy.addr, /*dirty=*/true, mark_uip,
@@ -936,9 +997,12 @@ void BaseFtl::SyncAllDirty(RecoveryReport* report) {
 
 RecoveryReport BaseFtl::CrashAndRecover() {
   // Requests are serviced synchronously, so a crash can only land between
-  // Submits — when no batched reports are pending.
+  // Submits — when no batched reports are pending and no channel batch
+  // window is open.
   GECKO_CHECK(pending_invalid_.empty() && !defer_invalid_reports_)
       << "power failure inside a batched request";
+  GECKO_CHECK(!device_->in_batch())
+      << "power failure inside a device batch window";
   OnPowerFailing();
 
   // Power failure: all RAM-resident structures vanish.

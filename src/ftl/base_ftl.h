@@ -39,7 +39,10 @@ class BaseFtl : public Ftl {
   /// Request-oriented entry point. Single-extent writes/reads take the
   /// classic per-page path; multi-extent requests run the batched path,
   /// which updates each touched translation page and page-validity-store
-  /// page once per request instead of once per lpn.
+  /// page once per request instead of once per lpn. Every request is
+  /// serviced inside one device batch window, so its flash ops — user
+  /// pages, metadata commits, GC — overlap across channels and the
+  /// request completes in max-per-channel time.
   Status Submit(IoRequest& request, IoResult* result) override;
 
   RecoveryReport CrashAndRecover() override;
@@ -59,7 +62,9 @@ class BaseFtl : public Ftl {
   void ForceGc() override {
     if (in_gc_) return;
     in_gc_ = true;
+    blocks_.set_compact_mode(true);
     CollectOneBlock();
+    blocks_.set_compact_mode(false);
     in_gc_ = false;
   }
 

@@ -7,33 +7,60 @@ namespace gecko {
 BlockManager::BlockManager(FlashDevice* device, bool auto_erase_metadata)
     : device_(device),
       auto_erase_metadata_(auto_erase_metadata),
+      stripe_(device->geometry().num_channels),
       block_type_(device->geometry().num_blocks, PageType::kFree),
-      meta_live_(device->geometry().num_blocks, 0) {
+      meta_live_(device->geometry().num_blocks, 0),
+      free_pool_(stripe_) {
   for (BlockId b = 0; b < device->geometry().num_blocks; ++b) {
-    free_blocks_.push_back(b);
+    PushFreeBlock(b);
   }
+  for (auto& actives : actives_) actives.assign(stripe_, kNullAddress);
 }
 
-PhysicalAddress* BlockManager::ActiveFor(PageType type) {
-  switch (type) {
-    case PageType::kUser: return &active_user_;
-    case PageType::kTranslation: return &active_translation_;
-    case PageType::kPvm: return &active_pvm_;
-    case PageType::kFree: break;
-  }
-  GECKO_CHECK(false) << "no active block for type " << PageTypeName(type);
-  return nullptr;
+std::vector<PhysicalAddress>& BlockManager::ActivesFor(PageType type) {
+  GECKO_CHECK(type != PageType::kFree)
+      << "no active block for type " << PageTypeName(type);
+  return actives_[static_cast<int>(type)];
 }
 
-PhysicalAddress BlockManager::AllocatePage(PageType type) {
-  PhysicalAddress* active = ActiveFor(type);
+void BlockManager::PushFreeBlock(BlockId block) {
+  free_pool_.Push(block, device_->ChannelOf(block));
+}
+
+PhysicalAddress BlockManager::AllocatePage(PageType type, uint32_t stream) {
+  std::vector<PhysicalAddress>& actives = ActivesFor(type);
+  const uint32_t pages = device_->geometry().pages_per_block;
+  uint32_t slot;
+  if (compact_mode_) {
+    // GC: top up the fullest open active (fewest free pages) to finish
+    // blocks instead of opening new ones across the stripe. Consecutive
+    // allocations keep hitting the same slot until it fills, so streams
+    // written during GC stay contiguous.
+    slot = next_slot_[static_cast<int>(type)];
+    uint32_t best_free = pages + 1;
+    for (uint32_t s = 0; s < stripe_; ++s) {
+      const PhysicalAddress& a = actives[s];
+      if (!a.IsValid() || a.page >= pages) continue;
+      uint32_t free = pages - a.page;
+      if (free < best_free) {
+        best_free = free;
+        slot = s;
+      }
+    }
+  } else if (stream != kNoStream) {
+    // Stream-affine placement: one stream, one slot (see PageAllocator).
+    slot = stream % stripe_;
+  } else {
+    slot = next_slot_[static_cast<int>(type)];
+    next_slot_[static_cast<int>(type)] = (slot + 1) % stripe_;
+  }
+  PhysicalAddress* active = &actives[slot];
   const uint32_t pages_per_block = device_->geometry().pages_per_block;
   if (!active->IsValid() || active->page >= pages_per_block) {
-    GECKO_CHECK(!free_blocks_.empty())
-        << "device out of free blocks (type " << PageTypeName(type)
-        << "); GC must run before allocation";
-    BlockId block = free_blocks_.front();
-    free_blocks_.pop_front();
+    BlockId retired = active->IsValid() ? active->block : kInvalidU32;
+    GECKO_CHECK_GT(free_pool_.size(), 0u)
+        << "device out of free blocks; GC must run before allocation";
+    BlockId block = free_pool_.Take(slot);
 #ifdef GECKO_DEBUG_GC_GROUND_TRUTH
     GECKO_CHECK(block_type_[block] == PageType::kFree)
         << "allocating non-free block " << block << " (type "
@@ -44,6 +71,14 @@ PhysicalAddress BlockManager::AllocatePage(PageType type) {
 #endif
     block_type_[block] = type;
     *active = PhysicalAddress{block, 0};
+    // A metadata block can become fully invalid while it is still the
+    // active append target (stream-affine placement makes this common: a
+    // block's own later pages supersede its earlier ones). The erase
+    // check skipped it then; re-check now that it has retired.
+    if (auto_erase_metadata_ && retired != kInvalidU32 &&
+        type != PageType::kUser) {
+      MaybeEraseMetadataBlock(retired);
+    }
   }
   PhysicalAddress out = *active;
   ++active->page;
@@ -80,10 +115,12 @@ void BlockManager::MaybeEraseMetadataBlock(BlockId block) {
 }
 
 bool BlockManager::IsActive(BlockId block) const {
-  return (active_user_.IsValid() && active_user_.block == block) ||
-         (active_translation_.IsValid() &&
-          active_translation_.block == block) ||
-         (active_pvm_.IsValid() && active_pvm_.block == block);
+  for (const auto& actives : actives_) {
+    for (const PhysicalAddress& a : actives) {
+      if (a.IsValid() && a.block == block) return true;
+    }
+  }
+  return false;
 }
 
 void BlockManager::Pin(BlockId block, uint64_t seq) {
@@ -110,7 +147,7 @@ void BlockManager::UnpinThrough(uint64_t seq) {
 void BlockManager::OnBlockErased(BlockId block) {
   block_type_[block] = PageType::kFree;
   meta_live_[block] = 0;
-  free_blocks_.push_back(block);
+  PushFreeBlock(block);
 }
 
 std::vector<BlockId> BlockManager::BlocksOfType(PageType type) const {
@@ -124,8 +161,11 @@ std::vector<BlockId> BlockManager::BlocksOfType(PageType type) const {
 void BlockManager::ResetRamState() {
   std::fill(block_type_.begin(), block_type_.end(), PageType::kFree);
   std::fill(meta_live_.begin(), meta_live_.end(), 0u);
-  free_blocks_.clear();
-  active_user_ = active_translation_ = active_pvm_ = kNullAddress;
+  free_pool_.Clear();
+  for (auto& actives : actives_) {
+    std::fill(actives.begin(), actives.end(), kNullAddress);
+  }
+  next_slot_.fill(0);
   pinned_.clear();
 }
 
@@ -135,19 +175,24 @@ void BlockManager::RecoverFromBid(const std::vector<BidEntry>& bid) {
     BlockId block = kInvalidU32;
     uint64_t first_seq = 0;
   };
-  Partial partial_of[4];
+  // One candidate partial block per (group, stripe slot); the slot is the
+  // block's own channel, so a resumed active keeps its IO on the channel
+  // it already lives on.
+  std::array<std::vector<Partial>, 4> partial_of;
+  for (auto& v : partial_of) v.assign(stripe_, Partial{});
   for (BlockId b = 0; b < bid.size(); ++b) {
     const BidEntry& e = bid[b];
     block_type_[b] = e.type;
     if (e.type == PageType::kFree) {
-      free_blocks_.push_back(b);
+      PushFreeBlock(b);
       continue;
     }
     if (e.pages_written < device_->geometry().pages_per_block) {
-      // At most one partial block per group exists (the crash-time
-      // active); keep the newest in case an abandoned partial lingers
-      // from a previous crash.
-      Partial& p = partial_of[static_cast<int>(e.type)];
+      // Normal operation leaves at most one partial block per slot (the
+      // crash-time active); keep the newest in case an abandoned partial
+      // lingers from a previous crash or a cross-channel steal.
+      Partial& p = partial_of[static_cast<int>(e.type)]
+                             [device_->ChannelOf(b)];
       if (p.block == kInvalidU32 || e.first_seq > p.first_seq) {
         p = Partial{b, e.first_seq};
       }
@@ -155,10 +200,13 @@ void BlockManager::RecoverFromBid(const std::vector<BidEntry>& bid) {
   }
   for (PageType type :
        {PageType::kUser, PageType::kTranslation, PageType::kPvm}) {
-    const Partial& p = partial_of[static_cast<int>(type)];
-    if (p.block != kInvalidU32) {
-      *ActiveFor(type) =
-          PhysicalAddress{p.block, device_->PagesWritten(p.block)};
+    std::vector<PhysicalAddress>& actives = ActivesFor(type);
+    for (uint32_t slot = 0; slot < stripe_; ++slot) {
+      const Partial& p = partial_of[static_cast<int>(type)][slot];
+      if (p.block != kInvalidU32) {
+        actives[slot] =
+            PhysicalAddress{p.block, device_->PagesWritten(p.block)};
+      }
     }
   }
 }

@@ -1,8 +1,17 @@
-// Block lifecycle management (Figure 8 of the paper).
+// Block lifecycle management (Figure 8 of the paper), channel-striped.
 //
 // Flash blocks are grouped by content type — user data, translation pages,
-// and page-validity metadata — with one active append block per group.
-// When an active block fills up, a new one is taken from the free pool.
+// and page-validity metadata — with one active append block *per channel*
+// per group (stripe slots). Allocations round-robin across the slots, so
+// consecutive pages of a scatter-gather batch land on distinct channels
+// and the channel-parallel device completes them in max-per-channel time.
+// With a one-channel geometry this degenerates to the paper's single
+// active block per group.
+//
+// The free pool is kept per channel. When a slot needs a fresh block and
+// its own channel's pool is empty, it steals from the richest channel:
+// striping is best-effort, running out of space is not an option GC can't
+// fix.
 //
 // The manager also tracks per-metadata-block live-page counts so that
 // GeckoFTL's policy (Section 4.2) can erase a metadata block the moment
@@ -13,14 +22,14 @@
 #ifndef GECKOFTL_FTL_BLOCK_MANAGER_H_
 #define GECKOFTL_FTL_BLOCK_MANAGER_H_
 
+#include <array>
 #include <cstdint>
-#include <deque>
 #include <map>
-#include <set>
 #include <vector>
 
 #include "flash/flash_device.h"
 #include "flash/page_allocator.h"
+#include "flash/striped_free_pool.h"
 
 namespace gecko {
 
@@ -32,16 +41,29 @@ class BlockManager : public PageAllocator {
   BlockManager(FlashDevice* device, bool auto_erase_metadata);
 
   // --- PageAllocator ----------------------------------------------------
-  PhysicalAddress AllocatePage(PageType type) override;
+  PhysicalAddress AllocatePage(PageType type,
+                               uint32_t stream = kNoStream) override;
   void OnMetadataPageInvalidated(PhysicalAddress addr) override;
+
+  /// Compact mode (GC): allocations prefer the fullest already-open
+  /// active and open a fresh block only when every slot is full. This
+  /// caps a collection's transient free-block demand at the 1-channel
+  /// level — round-robin striping could open one block per channel per
+  /// group before the victim's erase lands, starving the pool on small
+  /// over-provisioning margins. Normal-path writes keep striping.
+  void set_compact_mode(bool on) { compact_mode_ = on; }
+  bool compact_mode() const { return compact_mode_; }
 
   // --- Block bookkeeping -------------------------------------------------
 
   PageType BlockType(BlockId block) const { return block_type_[block]; }
+  /// Whether `block` is any group's active append block (any stripe slot).
   bool IsActive(BlockId block) const;
   bool IsPinned(BlockId block) const { return pinned_.count(block) > 0; }
-  uint32_t NumFreeBlocks() const {
-    return static_cast<uint32_t>(free_blocks_.size());
+  uint32_t NumFreeBlocks() const { return free_pool_.size(); }
+  /// Free blocks currently pooled on channel `c`.
+  uint32_t NumFreeBlocksOnChannel(ChannelId c) const {
+    return free_pool_.size_on(c);
   }
   uint32_t MetadataLivePages(BlockId block) const {
     return meta_live_[block];
@@ -72,8 +94,11 @@ class BlockManager : public PageAllocator {
   /// Step 1 of GeckoRec: rebuilds block types, the free pool, and active
   /// blocks from the Blocks Information Directory assembled by the FTL
   /// (block type + first-write seq per block, from one spare read each).
-  /// Partially-written blocks resume as the active block of their group
-  /// (there is at most one per group: actives only retire when full).
+  /// Partially-written blocks resume as the active block of their group's
+  /// stripe slot on their channel (at most one per slot survives normal
+  /// operation: actives only retire when full; the newest wins when an
+  /// abandoned partial lingers from an earlier crash or a cross-channel
+  /// steal).
   struct BidEntry {
     PageType type = PageType::kFree;
     uint64_t first_seq = 0;
@@ -86,18 +111,22 @@ class BlockManager : public PageAllocator {
   void RecoverMetadataLiveCounts(const std::vector<PhysicalAddress>& live);
 
  private:
-  PhysicalAddress* ActiveFor(PageType type);
+  std::vector<PhysicalAddress>& ActivesFor(PageType type);
+  void PushFreeBlock(BlockId block);
   void MaybeEraseMetadataBlock(BlockId block);
   IoPurpose ErasePurposeFor(PageType type) const;
 
   FlashDevice* device_;
   bool auto_erase_metadata_;
+  uint32_t stripe_;  // slots per group = geometry.num_channels
   std::vector<PageType> block_type_;
   std::vector<uint32_t> meta_live_;
-  std::deque<BlockId> free_blocks_;
-  PhysicalAddress active_user_ = kNullAddress;
-  PhysicalAddress active_translation_ = kNullAddress;
-  PhysicalAddress active_pvm_ = kNullAddress;
+  StripedFreePool free_pool_;
+  /// Active append blocks, one vector of `stripe_` slots per group.
+  std::array<std::vector<PhysicalAddress>, 4> actives_;
+  /// Round-robin cursor per group.
+  std::array<uint32_t, 4> next_slot_{};
+  bool compact_mode_ = false;
   std::map<BlockId, uint64_t> pinned_;  // block -> pin sequence
   uint64_t metadata_blocks_erased_ = 0;
 };

@@ -24,20 +24,20 @@ namespace gecko {
 /// Operation counters maintained by the FTL (flash IO is counted by the
 /// device's IoStats; these track logical events).
 struct FtlCounters {
-  uint64_t writes = 0;
-  uint64_t reads = 0;
+  uint64_t writes = 0;            // write extents serviced
+  uint64_t reads = 0;             // read extents serviced
   uint64_t trims = 0;             // trim extents serviced
   uint64_t flushes = 0;           // kFlush requests serviced
   uint64_t batches = 0;           // multi-extent requests submitted
   uint64_t batched_pages = 0;     // extents carried by those requests
-  uint64_t sync_ops = 0;
+  uint64_t sync_ops = 0;          // translation-page synchronizations
   uint64_t aborted_sync_ops = 0;  // all-clean syncs skipped (Appendix C.3.1)
-  uint64_t checkpoints = 0;
-  uint64_t gc_collections = 0;
-  uint64_t gc_migrations = 0;
+  uint64_t checkpoints = 0;       // runtime checkpoints taken (Section 4.3)
+  uint64_t gc_collections = 0;    // blocks collected by GC
+  uint64_t gc_migrations = 0;     // live pages moved by GC
   uint64_t uip_detections = 0;    // invalid pages caught by the GC UIP check
-  uint64_t cache_hits = 0;
-  uint64_t cache_misses = 0;
+  uint64_t cache_hits = 0;        // mapping-cache hits
+  uint64_t cache_misses = 0;      // mapping-cache misses
 };
 
 /// Block-device-like interface every FTL implements.
@@ -47,14 +47,20 @@ class Ftl {
 
   /// Services one batched scatter-gather request. Returns OK when the
   /// request was executed (even if individual extents failed — those
-  /// outcomes are in result->extent_status); a non-OK return means the
-  /// request was malformed and nothing happened. `result` may be null for
+  /// outcomes are in result->extent_status, parallel to the extents); a
+  /// non-OK return means the request was malformed and nothing happened.
+  /// Per-extent statuses: OK on success; InvalidArgument for an lpn
+  /// beyond logical capacity (that extent is skipped); NotFound for a
+  /// read of a never-written or trimmed page. `result` may be null for
   /// fire-and-forget writes/trims.
   virtual Status Submit(IoRequest& request, IoResult* result) = 0;
 
   // --- Single-page compatibility layer, re-expressed over Submit() -----
+  // Each wrapper submits a one-extent request and folds the per-extent
+  // status into its return value (FirstError), so callers see one Status.
 
-  /// Writes `payload` to logical page `lpn` (out of place).
+  /// Writes `payload` to logical page `lpn` (out of place). OK on
+  /// success; InvalidArgument if `lpn` is beyond logical capacity.
   Status Write(Lpn lpn, uint64_t payload) {
     IoRequest request = IoRequest::Write({IoExtent{lpn, payload}});
     IoResult result;
@@ -62,7 +68,9 @@ class Ftl {
     return s.ok() ? result.FirstError() : s;
   }
 
-  /// Reads logical page `lpn` into `*payload`.
+  /// Reads logical page `lpn` into `*payload`. OK on success; NotFound
+  /// if the page was never written or was trimmed (`*payload` is left
+  /// untouched then); InvalidArgument if `lpn` is out of range.
   Status Read(Lpn lpn, uint64_t* payload) {
     IoRequest request = IoRequest::Read({lpn});
     IoResult result;
@@ -74,7 +82,9 @@ class Ftl {
     return result.FirstError();
   }
 
-  /// Discards logical page `lpn`: later reads return NotFound.
+  /// Discards logical page `lpn`: later reads return NotFound, the old
+  /// data feeds GC, and the discard survives power failure (tombstone).
+  /// Trimming a never-written page is an idempotent no-op returning OK.
   Status Trim(Lpn lpn) {
     IoRequest request = IoRequest::Trim({lpn});
     IoResult result;
@@ -82,7 +92,8 @@ class Ftl {
     return s.ok() ? result.FirstError() : s;
   }
 
-  /// Makes all volatile FTL state durable.
+  /// Makes all volatile FTL state durable (dirty mapping entries,
+  /// store-specific buffers). Always OK on a well-formed FTL.
   Status Flush() {
     IoRequest request = IoRequest::Flush();
     return Submit(request, nullptr);
@@ -98,7 +109,9 @@ class Ftl {
   /// Forces one garbage-collection cycle (tests and benchmarks).
   virtual void ForceGc() = 0;
 
+  /// Logical-operation counters (flash IO lives in the device's IoStats).
   virtual const FtlCounters& counters() const = 0;
+  /// Short display name ("GeckoFTL", "DFTL", ...). Never null.
   virtual const char* Name() const = 0;
 };
 

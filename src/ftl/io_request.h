@@ -59,31 +59,40 @@ struct IoRequest {
   IoRequest() = default;
   explicit IoRequest(IoOp o) : op(o) {}
 
+  /// Builds a write request from ready-made {lpn, payload} extents.
   static IoRequest Write(std::vector<IoExtent> e) {
     IoRequest r(IoOp::kWrite);
     r.extents = std::move(e);
     return r;
   }
+  /// Builds a read request over `lpns` (results come back in
+  /// IoResult::payloads, parallel to the extents).
   static IoRequest Read(std::initializer_list<Lpn> lpns) {
     return FromLpns(IoOp::kRead, lpns.begin(), lpns.end());
   }
   static IoRequest Read(const std::vector<Lpn>& lpns) {
     return FromLpns(IoOp::kRead, lpns.begin(), lpns.end());
   }
+  /// Builds a trim (discard) request over `lpns`.
   static IoRequest Trim(std::initializer_list<Lpn> lpns) {
     return FromLpns(IoOp::kTrim, lpns.begin(), lpns.end());
   }
   static IoRequest Trim(const std::vector<Lpn>& lpns) {
     return FromLpns(IoOp::kTrim, lpns.begin(), lpns.end());
   }
+  /// Builds a flush request (must stay extent-free to be well-formed).
   static IoRequest Flush() { return IoRequest(IoOp::kFlush); }
 
+  /// Appends one extent; chainable (`r.Add(1, x).Add(9, y)`). `payload`
+  /// is meaningful for kWrite only.
   IoRequest& Add(Lpn lpn, uint64_t payload = 0) {
     extents.push_back(IoExtent{lpn, payload});
     return *this;
   }
 
+  /// Number of extents carried.
   size_t size() const { return extents.size(); }
+  /// Whether the request carries no extents (invalid except for kFlush).
   bool empty() const { return extents.empty(); }
 
  private:
@@ -97,14 +106,19 @@ struct IoRequest {
 
 /// Outcome of one submitted request. `status` reports whether the request
 /// was executed at all (malformed requests fail as a whole); per-extent
-/// outcomes — e.g. NotFound for a read of a never-written or trimmed page
-/// — land in `extent_status`, parallel to the request's extents.
+/// outcomes — e.g. NotFound for a read of a never-written or trimmed
+/// page, InvalidArgument for an out-of-range lpn — land in
+/// `extent_status`, parallel to the request's extents.
 struct IoResult {
+  /// Whole-request outcome; non-OK means nothing was executed.
   Status status;
+  /// Per-extent outcomes, parallel to the request's extents.
   std::vector<Status> extent_status;
-  /// Read results, parallel to the extents (kRead only).
+  /// Read results, parallel to the extents (kRead only; slots of failed
+  /// extents stay 0).
   std::vector<uint64_t> payloads;
 
+  /// True iff the request executed and every extent succeeded.
   bool AllOk() const {
     if (!status.ok()) return false;
     for (const Status& s : extent_status) {

@@ -33,7 +33,10 @@ PhysicalAddress TranslationTable::CommitTPage(
   GECKO_CHECK_LT(t, num_tpages_);
   GECKO_CHECK_EQ(mappings.size(), entries_per_page_);
   PhysicalAddress old = gmd_[t];
-  PhysicalAddress fresh = allocator_->AllocatePage(PageType::kTranslation);
+  // Stream = the translation page id: all versions of one tpage append to
+  // one stripe slot (they supersede each other, so their blocks free
+  // wholesale), while different tpages commit on different channels.
+  PhysicalAddress fresh = allocator_->AllocatePage(PageType::kTranslation, t);
   SpareArea spare;
   spare.type = PageType::kTranslation;
   spare.key = t;

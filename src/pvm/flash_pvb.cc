@@ -28,7 +28,9 @@ void FlashPvb::ReadModifyWrite(uint32_t c, Fn mutate) {
   }
   // First write of a chunk needs no prior read (all-zero bitmap).
   mutate(&chunk_bits_[c]);
-  PhysicalAddress fresh = allocator_->AllocatePage(PageType::kPvm);
+  // Stream = the chunk id: a chunk's versions cluster on one stripe slot;
+  // a batch touching many chunks commits them across channels in parallel.
+  PhysicalAddress fresh = allocator_->AllocatePage(PageType::kPvm, c);
   SpareArea spare;
   spare.type = PageType::kPvm;
   spare.key = c;  // chunk id, used by the recovery scan

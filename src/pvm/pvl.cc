@@ -278,9 +278,15 @@ PageValidityLog::RecoveryInfo PageValidityLog::Recover(
   }
   // Per-block erase times come back from the device's persisted erase
   // sequence (stored in spare areas per Appendix D), scaled into tick
-  // space; see Tick().
+  // space; see Tick(). Scaled as the *end* of the erase's sequence
+  // window (+1): records created in the same window — CurrentSeq() is
+  // the next seq to assign, and the erase itself consumes it — carry
+  // ticks >= LastEraseSeq * kTickStride, so scaling the erase to the
+  // window start would resurrect them as current. Records that postdate
+  // the erase reference pages written after it and therefore tick at
+  // >= (LastEraseSeq + 1) * kTickStride, exactly the boundary.
   for (BlockId b = 0; b < geometry_.num_blocks; ++b) {
-    last_erase_seq_[b] = device_->LastEraseSeq(b) * kTickStride;
+    last_erase_seq_[b] = (device_->LastEraseSeq(b) + 1) * kTickStride;
     if (last_erase_seq_[b] > clock_) clock_ = last_erase_seq_[b];
   }
   return info;

@@ -26,6 +26,19 @@ void FtlExperiment::Fill(Ftl& ftl, uint64_t num_lpns, uint32_t batch_size) {
   }
 }
 
+ChannelReport FtlExperiment::Channels(const FlashDevice& device) {
+  const IoStats& stats = device.stats();
+  ChannelReport report;
+  report.utilization = stats.ChannelUtilizations();
+  report.ops.reserve(stats.num_channels());
+  for (uint32_t c = 0; c < stats.num_channels(); ++c) {
+    report.ops.push_back(stats.ChannelOps(c));
+  }
+  report.max_queue_depth = stats.max_queue_depth();
+  report.elapsed_us = stats.elapsed_us();
+  return report;
+}
+
 WaBreakdown FtlExperiment::MeasureWa(Ftl& ftl, FlashDevice& device,
                                      Workload& workload, uint64_t warm_ops,
                                      uint64_t measure_ops) {

@@ -7,6 +7,7 @@
 #define GECKOFTL_SIM_FTL_EXPERIMENT_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "flash/flash_device.h"
 #include "ftl/ftl.h"
@@ -21,6 +22,22 @@ struct WaBreakdown {
   double translation = 0;    // sync ops + translation-page GC
   double page_validity = 0;  // PVM updates, GC queries, PVM-page GC
   double total = 0;
+};
+
+/// Per-channel view of a run on the channel-parallel backend: how evenly
+/// the FTL spread its flash ops, and how deep the submission queues got.
+struct ChannelReport {
+  std::vector<double> utilization;  // busy / elapsed per channel, in [0,1]
+  std::vector<uint64_t> ops;        // flash ops serviced per channel
+  uint32_t max_queue_depth = 0;     // deepest any channel queue got
+  double elapsed_us = 0;            // simulated (channel-overlapped) time
+
+  double MeanUtilization() const {
+    if (utilization.empty()) return 0;
+    double sum = 0;
+    for (double u : utilization) sum += u;
+    return sum / static_cast<double>(utilization.size());
+  }
 };
 
 class FtlExperiment {
@@ -45,6 +62,10 @@ class FtlExperiment {
                                       Workload& workload, uint64_t warm_ops,
                                       uint64_t measure_ops,
                                       const RequestStream::Options& options);
+
+  /// Snapshot of the device's per-channel accounting (utilization, op
+  /// spread, queue depth) for channel-scaling experiments.
+  static ChannelReport Channels(const FlashDevice& device);
 
   /// Deterministic content token for (lpn, version) — used by tests to
   /// verify end-to-end data integrity.

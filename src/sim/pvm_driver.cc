@@ -7,7 +7,9 @@ PvmDriver::PvmDriver(FlashDevice* device, PageValidityStore* store,
     : device_(device),
       store_(store),
       user_blocks_(user_blocks),
-      invalid_count_(user_blocks, 0) {
+      invalid_count_(user_blocks, 0),
+      free_pool_(device->geometry().num_channels),
+      actives_(device->geometry().num_channels, kNullAddress) {
   const Geometry& g = device->geometry();
   GECKO_CHECK_LE(user_blocks, g.num_blocks);
   num_lpns_ = static_cast<uint64_t>(uint64_t{user_blocks} *
@@ -18,19 +20,27 @@ PvmDriver::PvmDriver(FlashDevice* device, PageValidityStore* store,
   oracle_.reserve(user_blocks);
   for (uint32_t b = 0; b < user_blocks; ++b) {
     oracle_.emplace_back(g.pages_per_block);
-    free_blocks_.push_back(b);
+    free_pool_.Push(b, device->ChannelOf(b));
   }
+}
+
+bool PvmDriver::IsActiveBlock(BlockId block) const {
+  for (const PhysicalAddress& a : actives_) {
+    if (a.IsValid() && a.block == block) return true;
+  }
+  return false;
 }
 
 PhysicalAddress PvmDriver::Allocate() {
   const uint32_t pages_per_block = device_->geometry().pages_per_block;
-  if (!active_.IsValid() || active_.page >= pages_per_block) {
-    GECKO_CHECK(!free_blocks_.empty());
-    active_ = PhysicalAddress{free_blocks_.front(), 0};
-    free_blocks_.pop_front();
+  uint32_t slot = next_slot_;
+  next_slot_ = (next_slot_ + 1) % static_cast<uint32_t>(actives_.size());
+  PhysicalAddress* active = &actives_[slot];
+  if (!active->IsValid() || active->page >= pages_per_block) {
+    *active = PhysicalAddress{free_pool_.Take(slot), 0};
   }
-  PhysicalAddress out = active_;
-  ++active_.page;
+  PhysicalAddress out = *active;
+  ++active->page;
   return out;
 }
 
@@ -75,11 +85,17 @@ void PvmDriver::Fill() {
 
 void PvmDriver::FillBatched(uint32_t batch_size) {
   GECKO_CHECK_GT(batch_size, 0u);
+  device_->BeginBatch();
   for (uint64_t lpn = 0; lpn < num_lpns_; ++lpn) {
     WriteLpn(static_cast<Lpn>(lpn), /*batched=*/true);
-    if ((lpn + 1) % batch_size == 0) FlushPendingRecords();
+    if ((lpn + 1) % batch_size == 0) {
+      FlushPendingRecords();
+      device_->EndBatch();
+      device_->BeginBatch();
+    }
   }
   FlushPendingRecords();
+  device_->EndBatch();
 }
 
 void PvmDriver::RunUpdates(uint64_t count, Workload& workload) {
@@ -92,16 +108,22 @@ void PvmDriver::RunUpdates(uint64_t count, Workload& workload) {
 void PvmDriver::RunUpdateBatches(uint64_t count, uint32_t batch_size,
                                  Workload& workload) {
   GECKO_CHECK_GT(batch_size, 0u);
+  device_->BeginBatch();
   for (uint64_t i = 0; i < count; ++i) {
     device_->stats().OnLogicalWrite();
     WriteLpn(workload.NextLpn(), /*batched=*/true);
-    if ((i + 1) % batch_size == 0) FlushPendingRecords();
+    if ((i + 1) % batch_size == 0) {
+      FlushPendingRecords();
+      device_->EndBatch();
+      device_->BeginBatch();
+    }
   }
   FlushPendingRecords();
+  device_->EndBatch();
 }
 
 void PvmDriver::EnsureFreeBlocks() {
-  while (free_blocks_.size() < 2) CollectOne();
+  while (free_pool_.size() < 2) CollectOne();
 }
 
 void PvmDriver::CollectOne() {
@@ -110,7 +132,7 @@ void PvmDriver::CollectOne() {
   BlockId victim = kInvalidU32;
   uint32_t best = 0;
   for (BlockId b = 0; b < user_blocks_; ++b) {
-    if (active_.IsValid() && b == active_.block) continue;
+    if (IsActiveBlock(b)) continue;
     if (device_->PagesWritten(b) < pages_per_block) continue;
     if (invalid_count_[b] >= best && invalid_count_[b] > 0) {
       best = invalid_count_[b];
@@ -149,7 +171,7 @@ void PvmDriver::CollectOne() {
   oracle_[victim].Reset();
   invalid_count_[victim] = 0;
   device_->EraseBlock(victim, IoPurpose::kGcMigration);
-  free_blocks_.push_back(victim);
+  free_pool_.Push(victim, device_->ChannelOf(victim));
 }
 
 }  // namespace gecko

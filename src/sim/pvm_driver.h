@@ -16,10 +16,10 @@
 #define GECKOFTL_SIM_PVM_DRIVER_H_
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "flash/flash_device.h"
+#include "flash/striped_free_pool.h"
 #include "pvm/page_validity_store.h"
 #include "workload/workload.h"
 
@@ -49,18 +49,27 @@ class PvmDriver {
   /// Batched measurement loop: like RunUpdates, but before-image records
   /// are collected per `batch_size` updates and submitted as one
   /// RecordInvalidPages batch — the driver-level analogue of a
-  /// scatter-gather write request.
+  /// scatter-gather write request. Each batch runs inside one device
+  /// batch window, so its page writes and the store's grouped
+  /// read-modify-writes overlap across channels.
   void RunUpdateBatches(uint64_t count, uint32_t batch_size,
                         Workload& workload);
 
   uint64_t gc_operations() const { return gc_operations_; }
   uint64_t updates_issued() const { return updates_issued_; }
 
+  /// Per-channel utilization of the underlying device (busy / elapsed),
+  /// for the channel-scaling reports.
+  std::vector<double> ChannelUtilization() const {
+    return device_->stats().ChannelUtilizations();
+  }
+
  private:
   void WriteLpn(Lpn lpn, bool batched = false);
   void FlushPendingRecords();
   void EnsureFreeBlocks();
   void CollectOne();
+  bool IsActiveBlock(BlockId block) const;
   PhysicalAddress Allocate();
 
   FlashDevice* device_;
@@ -71,11 +80,14 @@ class PvmDriver {
   std::vector<Lpn> reverse_;                 // flat ppa -> lpn
   std::vector<uint32_t> invalid_count_;      // exact, per user block
   std::vector<Bitmap> oracle_;               // exact invalid bitmaps
-  std::deque<BlockId> free_blocks_;
+  StripedFreePool free_pool_;
   /// Store records collected by the batched loops, flushed once per batch
   /// (and before any GC query, so the oracle check stays exact).
   std::vector<PhysicalAddress> pending_records_;
-  PhysicalAddress active_ = kNullAddress;
+  /// Channel-striped active blocks (one per channel) + round-robin cursor,
+  /// mirroring BlockManager's policy.
+  std::vector<PhysicalAddress> actives_;
+  uint32_t next_slot_ = 0;
   uint64_t gc_operations_ = 0;
   uint64_t updates_issued_ = 0;
 };

@@ -13,19 +13,19 @@
 namespace gecko {
 namespace {
 
-class FtlCorrectnessTest : public ::testing::TestWithParam<std::string> {};
+class FtlCorrectnessTest : public ChannelFtlTest {};
 
 TEST_P(FtlCorrectnessTest, FillThenReadAll) {
-  FlashDevice device(FtlTestGeometry());
-  auto ftl = MakeFtl(GetParam(), &device, /*cache_capacity=*/128);
+  FlashDevice device(Geo());
+  auto ftl = MakeFtl(FtlName(), &device, /*cache_capacity=*/128);
   ShadowHarness shadow(ftl.get(), device.geometry().NumLogicalPages());
   for (Lpn lpn = 0; lpn < shadow.num_lpns(); ++lpn) shadow.Write(lpn);
   shadow.VerifyAll();
 }
 
 TEST_P(FtlCorrectnessTest, RandomUpdatesUnderGcPressure) {
-  FlashDevice device(FtlTestGeometry());
-  auto ftl = MakeFtl(GetParam(), &device, 128);
+  FlashDevice device(Geo());
+  auto ftl = MakeFtl(FtlName(), &device, 128);
   ShadowHarness shadow(ftl.get(), device.geometry().NumLogicalPages());
   for (Lpn lpn = 0; lpn < shadow.num_lpns(); ++lpn) shadow.Write(lpn);
 
@@ -41,8 +41,8 @@ TEST_P(FtlCorrectnessTest, RandomUpdatesUnderGcPressure) {
 }
 
 TEST_P(FtlCorrectnessTest, SkewedUpdatesKeepColdDataIntact) {
-  FlashDevice device(FtlTestGeometry());
-  auto ftl = MakeFtl(GetParam(), &device, 128);
+  FlashDevice device(Geo());
+  auto ftl = MakeFtl(FtlName(), &device, 128);
   ShadowHarness shadow(ftl.get(), device.geometry().NumLogicalPages());
   for (Lpn lpn = 0; lpn < shadow.num_lpns(); ++lpn) shadow.Write(lpn);
 
@@ -54,9 +54,9 @@ TEST_P(FtlCorrectnessTest, SkewedUpdatesKeepColdDataIntact) {
 }
 
 TEST_P(FtlCorrectnessTest, ReadMissesFetchFromFlash) {
-  FlashDevice device(FtlTestGeometry());
+  FlashDevice device(Geo());
   // A tiny cache forces evictions and synchronizations constantly.
-  auto ftl = MakeFtl(GetParam(), &device, 16);
+  auto ftl = MakeFtl(FtlName(), &device, 16);
   ShadowHarness shadow(ftl.get(), device.geometry().NumLogicalPages());
   for (Lpn lpn = 0; lpn < 200; ++lpn) shadow.Write(lpn);
   // Reading far more lpns than fit in the cache exercises miss handling.
@@ -65,16 +65,16 @@ TEST_P(FtlCorrectnessTest, ReadMissesFetchFromFlash) {
 }
 
 TEST_P(FtlCorrectnessTest, ReadOfNeverWrittenPageIsNotFound) {
-  FlashDevice device(FtlTestGeometry());
-  auto ftl = MakeFtl(GetParam(), &device, 64);
+  FlashDevice device(Geo());
+  auto ftl = MakeFtl(FtlName(), &device, 64);
   uint64_t payload;
   Status s = ftl->Read(5, &payload);
   EXPECT_EQ(s.code(), StatusCode::kNotFound);
 }
 
 TEST_P(FtlCorrectnessTest, OutOfRangeAccessRejected) {
-  FlashDevice device(FtlTestGeometry());
-  auto ftl = MakeFtl(GetParam(), &device, 64);
+  FlashDevice device(Geo());
+  auto ftl = MakeFtl(FtlName(), &device, 64);
   Lpn beyond = static_cast<Lpn>(device.geometry().NumLogicalPages());
   EXPECT_EQ(ftl->Write(beyond, 1).code(), StatusCode::kInvalidArgument);
   uint64_t payload;
@@ -82,23 +82,14 @@ TEST_P(FtlCorrectnessTest, OutOfRangeAccessRejected) {
 }
 
 TEST_P(FtlCorrectnessTest, RamBytesReportedAndBounded) {
-  FlashDevice device(FtlTestGeometry());
-  auto ftl = MakeFtl(GetParam(), &device, 128);
+  FlashDevice device(Geo());
+  auto ftl = MakeFtl(FtlName(), &device, 128);
   ShadowHarness shadow(ftl.get(), device.geometry().NumLogicalPages());
   for (Lpn lpn = 0; lpn < shadow.num_lpns(); ++lpn) shadow.Write(lpn);
   EXPECT_GT(ftl->RamBytes(), 0u);
 }
 
-INSTANTIATE_TEST_SUITE_P(AllFtls, FtlCorrectnessTest,
-                         ::testing::Values("GeckoFTL", "DFTL", "LazyFTL",
-                                           "uFTL", "IB-FTL"),
-                         [](const ::testing::TestParamInfo<std::string>& i) {
-                           std::string name = i.param;
-                           for (char& c : name) {
-                             if (c == '-') c = '_';
-                           }
-                           return name;
-                         });
+GECKO_INSTANTIATE_CHANNEL_FTL_SUITE(FtlCorrectnessTest);
 
 }  // namespace
 }  // namespace gecko

@@ -12,11 +12,11 @@
 namespace gecko {
 namespace {
 
-class FtlRecoveryTest : public ::testing::TestWithParam<std::string> {};
+class FtlRecoveryTest : public ChannelFtlTest {};
 
 TEST_P(FtlRecoveryTest, CrashAfterFillLosesNothing) {
-  FlashDevice device(FtlTestGeometry());
-  auto ftl = MakeFtl(GetParam(), &device, 128);
+  FlashDevice device(Geo());
+  auto ftl = MakeFtl(FtlName(), &device, 128);
   ShadowHarness shadow(ftl.get(), device.geometry().NumLogicalPages());
   for (Lpn lpn = 0; lpn < shadow.num_lpns(); ++lpn) shadow.Write(lpn);
   RecoveryReport report = ftl->CrashAndRecover();
@@ -25,8 +25,8 @@ TEST_P(FtlRecoveryTest, CrashAfterFillLosesNothing) {
 }
 
 TEST_P(FtlRecoveryTest, CrashMidUpdatesLosesNothing) {
-  FlashDevice device(FtlTestGeometry());
-  auto ftl = MakeFtl(GetParam(), &device, 128);
+  FlashDevice device(Geo());
+  auto ftl = MakeFtl(FtlName(), &device, 128);
   ShadowHarness shadow(ftl.get(), device.geometry().NumLogicalPages());
   for (Lpn lpn = 0; lpn < shadow.num_lpns(); ++lpn) shadow.Write(lpn);
   UniformWorkload workload(shadow.num_lpns(), 21);
@@ -36,8 +36,8 @@ TEST_P(FtlRecoveryTest, CrashMidUpdatesLosesNothing) {
 }
 
 TEST_P(FtlRecoveryTest, RepeatedCrashRecoverCyclesStaySound) {
-  FlashDevice device(FtlTestGeometry());
-  auto ftl = MakeFtl(GetParam(), &device, 128);
+  FlashDevice device(Geo());
+  auto ftl = MakeFtl(FtlName(), &device, 128);
   ShadowHarness shadow(ftl.get(), device.geometry().NumLogicalPages());
   for (Lpn lpn = 0; lpn < shadow.num_lpns(); ++lpn) shadow.Write(lpn);
 
@@ -52,8 +52,8 @@ TEST_P(FtlRecoveryTest, RepeatedCrashRecoverCyclesStaySound) {
 }
 
 TEST_P(FtlRecoveryTest, WritesContinueCorrectlyAfterRecovery) {
-  FlashDevice device(FtlTestGeometry());
-  auto ftl = MakeFtl(GetParam(), &device, 128);
+  FlashDevice device(Geo());
+  auto ftl = MakeFtl(FtlName(), &device, 128);
   ShadowHarness shadow(ftl.get(), device.geometry().NumLogicalPages());
   for (Lpn lpn = 0; lpn < shadow.num_lpns(); ++lpn) shadow.Write(lpn);
   UniformWorkload workload(shadow.num_lpns(), 23);
@@ -68,8 +68,8 @@ TEST_P(FtlRecoveryTest, WritesContinueCorrectlyAfterRecovery) {
 }
 
 TEST_P(FtlRecoveryTest, CrashImmediatelyAfterRecovery) {
-  FlashDevice device(FtlTestGeometry());
-  auto ftl = MakeFtl(GetParam(), &device, 128);
+  FlashDevice device(Geo());
+  auto ftl = MakeFtl(FtlName(), &device, 128);
   ShadowHarness shadow(ftl.get(), device.geometry().NumLogicalPages());
   for (Lpn lpn = 0; lpn < shadow.num_lpns(); ++lpn) shadow.Write(lpn);
   UniformWorkload workload(shadow.num_lpns(), 29);
@@ -80,8 +80,8 @@ TEST_P(FtlRecoveryTest, CrashImmediatelyAfterRecovery) {
 }
 
 TEST_P(FtlRecoveryTest, RecoveryReportHasMeaningfulSteps) {
-  FlashDevice device(FtlTestGeometry());
-  auto ftl = MakeFtl(GetParam(), &device, 128);
+  FlashDevice device(Geo());
+  auto ftl = MakeFtl(FtlName(), &device, 128);
   ShadowHarness shadow(ftl.get(), device.geometry().NumLogicalPages());
   for (Lpn lpn = 0; lpn < shadow.num_lpns(); ++lpn) shadow.Write(lpn);
   RecoveryReport report = ftl->CrashAndRecover();
@@ -91,16 +91,7 @@ TEST_P(FtlRecoveryTest, RecoveryReportHasMeaningfulSteps) {
   EXPECT_GT(report.TotalMicros(device.stats().latency()), 0.0);
 }
 
-INSTANTIATE_TEST_SUITE_P(AllFtls, FtlRecoveryTest,
-                         ::testing::Values("GeckoFTL", "DFTL", "LazyFTL",
-                                           "uFTL", "IB-FTL"),
-                         [](const ::testing::TestParamInfo<std::string>& i) {
-                           std::string name = i.param;
-                           for (char& c : name) {
-                             if (c == '-') c = '_';
-                           }
-                           return name;
-                         });
+GECKO_INSTANTIATE_CHANNEL_FTL_SUITE(FtlRecoveryTest);
 
 }  // namespace
 }  // namespace gecko

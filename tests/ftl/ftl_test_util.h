@@ -6,6 +6,7 @@
 
 #include <memory>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
@@ -18,14 +19,47 @@
 
 namespace gecko {
 
-inline Geometry FtlTestGeometry() {
+inline Geometry FtlTestGeometry(uint32_t num_channels = 1) {
   Geometry g;
   g.num_blocks = 96;
   g.pages_per_block = 16;
   g.page_bytes = 512;  // 128 mapping entries / tpage, V ~ 83 gecko entries
   g.logical_ratio = 0.7;
+  g.num_channels = num_channels;
   return g;
 }
+
+/// Parameter of the suites that run every FTL on both a serial and a
+/// multi-channel device: (FTL name, channel count).
+using FtlChannelParam = std::tuple<std::string, uint32_t>;
+
+/// Fixture for those suites. Tests build their device from Geo() and
+/// their FTL from FtlName().
+class ChannelFtlTest : public ::testing::TestWithParam<FtlChannelParam> {
+ protected:
+  std::string FtlName() const { return std::get<0>(GetParam()); }
+  uint32_t NumChannels() const { return std::get<1>(GetParam()); }
+  Geometry Geo() const { return FtlTestGeometry(NumChannels()); }
+};
+
+inline std::string FtlChannelParamName(
+    const ::testing::TestParamInfo<FtlChannelParam>& info) {
+  std::string name = std::get<0>(info.param);
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name + "_ch" + std::to_string(std::get<1>(info.param));
+}
+
+/// Instantiates `suite` (a ChannelFtlTest) over all five FTLs, each on a
+/// 1-channel and a 4-channel geometry.
+#define GECKO_INSTANTIATE_CHANNEL_FTL_SUITE(suite)                        \
+  INSTANTIATE_TEST_SUITE_P(                                               \
+      AllFtls, suite,                                                     \
+      ::testing::Combine(::testing::Values("GeckoFTL", "DFTL", "LazyFTL", \
+                                           "uFTL", "IB-FTL"),             \
+                         ::testing::Values(1u, 4u)),                      \
+      FtlChannelParamName)
 
 inline std::unique_ptr<Ftl> MakeFtl(const std::string& name,
                                     FlashDevice* device,

@@ -11,13 +11,11 @@
 namespace gecko {
 namespace {
 
-const char* kAllFtls[] = {"GeckoFTL", "DFTL", "LazyFTL", "uFTL", "IB-FTL"};
-
-class TrimTest : public ::testing::TestWithParam<const char*> {};
+class TrimTest : public ChannelFtlTest {};
 
 TEST_P(TrimTest, TrimmedPageReadsNotFound) {
-  FlashDevice device(FtlTestGeometry());
-  auto ftl = MakeFtl(GetParam(), &device, 64);
+  FlashDevice device(Geo());
+  auto ftl = MakeFtl(FtlName(), &device, 64);
   ASSERT_NE(ftl, nullptr);
 
   ASSERT_TRUE(ftl->Write(7, 0xAB).ok());
@@ -34,8 +32,8 @@ TEST_P(TrimTest, TrimmedPageReadsNotFound) {
 }
 
 TEST_P(TrimTest, TrimOfNeverWrittenPageIsIdempotentNoOp) {
-  FlashDevice device(FtlTestGeometry());
-  auto ftl = MakeFtl(GetParam(), &device, 64);
+  FlashDevice device(Geo());
+  auto ftl = MakeFtl(FtlName(), &device, 64);
 
   IoCounters before = device.stats().Snapshot();
   EXPECT_TRUE(ftl->Trim(123).ok());
@@ -49,8 +47,8 @@ TEST_P(TrimTest, TrimOfNeverWrittenPageIsIdempotentNoOp) {
 }
 
 TEST_P(TrimTest, BatchTrimInvalidatesEveryExtent) {
-  FlashDevice device(FtlTestGeometry());
-  auto ftl = MakeFtl(GetParam(), &device, 64);
+  FlashDevice device(Geo());
+  auto ftl = MakeFtl(FtlName(), &device, 64);
 
   for (Lpn lpn = 0; lpn < 40; ++lpn) {
     ASSERT_TRUE(ftl->Write(lpn, 0x9000 + lpn).ok());
@@ -75,8 +73,8 @@ TEST_P(TrimTest, BatchTrimInvalidatesEveryExtent) {
 }
 
 TEST_P(TrimTest, RewriteAfterTrimBehavesLikeFirstWrite) {
-  FlashDevice device(FtlTestGeometry());
-  auto ftl = MakeFtl(GetParam(), &device, 64);
+  FlashDevice device(Geo());
+  auto ftl = MakeFtl(FtlName(), &device, 64);
 
   ASSERT_TRUE(ftl->Write(5, 0x111).ok());
   ASSERT_TRUE(ftl->Trim(5).ok());
@@ -87,9 +85,9 @@ TEST_P(TrimTest, RewriteAfterTrimBehavesLikeFirstWrite) {
 }
 
 TEST_P(TrimTest, TrimmedDataIsSkippedByGcAndSpaceReclaimed) {
-  FlashDevice device(FtlTestGeometry());
-  auto ftl = MakeFtl(GetParam(), &device, 64);
-  const uint64_t num_lpns = FtlTestGeometry().NumLogicalPages();
+  FlashDevice device(Geo());
+  auto ftl = MakeFtl(FtlName(), &device, 64);
+  const uint64_t num_lpns = Geo().NumLogicalPages();
 
   ShadowHarness shadow(ftl.get(), num_lpns);
   for (Lpn lpn = 0; lpn < num_lpns; ++lpn) shadow.Write(lpn);
@@ -118,22 +116,25 @@ TEST_P(TrimTest, TrimmedDataIsSkippedByGcAndSpaceReclaimed) {
 }
 
 TEST_P(TrimTest, TrimFeedsGcVictimSelection) {
-  FlashDevice device(FtlTestGeometry());
-  // Cache of 16: the 32-extent trim batch below is >= 2C, so its
-  // before-images are identified eagerly, within the Submit call.
-  auto ftl = MakeFtl(GetParam(), &device, 16);
+  FlashDevice device(Geo());
+  // Cache of 16: the trim batch below is >= 2C, so its before-images are
+  // identified eagerly, within the Submit call.
+  auto ftl = MakeFtl(FtlName(), &device, 16);
   auto* base = dynamic_cast<BaseFtl*>(ftl.get());
   ASSERT_NE(base, nullptr);
   const Geometry& g = device.geometry();
 
-  // Sequential fill packs lpns into blocks in write order; trimming a
-  // whole block's worth of consecutive lpns must make some block almost
+  // Sequential fill round-robins lpns across one active block per
+  // channel, so consecutive lpns stripe over `num_channels` blocks; a
+  // "stride" of num_channels * B consecutive lpns fills one block per
+  // channel. Trimming two strides' worth must make some block almost
   // fully invalid in the BVC — the signal greedy victim selection uses.
-  for (Lpn lpn = 0; lpn < 10 * g.pages_per_block; ++lpn) {
+  const Lpn stride = g.num_channels * g.pages_per_block;
+  for (Lpn lpn = 0; lpn < 10 * stride; ++lpn) {
     ASSERT_TRUE(ftl->Write(lpn, lpn).ok());
   }
   std::vector<Lpn> range;
-  for (Lpn lpn = 2 * g.pages_per_block; lpn < 4 * g.pages_per_block; ++lpn) {
+  for (Lpn lpn = 2 * stride; lpn < 4 * stride; ++lpn) {
     range.push_back(lpn);
   }
   IoRequest trim = IoRequest::Trim(range);
@@ -147,9 +148,9 @@ TEST_P(TrimTest, TrimFeedsGcVictimSelection) {
 }
 
 TEST_P(TrimTest, TrimSurvivesCrashAndRecover) {
-  FlashDevice device(FtlTestGeometry());
-  auto ftl = MakeFtl(GetParam(), &device, 64);
-  const uint64_t num_lpns = FtlTestGeometry().NumLogicalPages();
+  FlashDevice device(Geo());
+  auto ftl = MakeFtl(FtlName(), &device, 64);
+  const uint64_t num_lpns = Geo().NumLogicalPages();
 
   ShadowHarness shadow(ftl.get(), num_lpns);
   for (Lpn lpn = 0; lpn < 300; ++lpn) shadow.Write(lpn);
@@ -194,7 +195,7 @@ TEST_P(TrimTest, TrimSurvivesCrashAndRecover) {
   EXPECT_EQ(payload, 0x5eedu);
 }
 
-INSTANTIATE_TEST_SUITE_P(AllFtls, TrimTest, ::testing::ValuesIn(kAllFtls));
+GECKO_INSTANTIATE_CHANNEL_FTL_SUITE(TrimTest);
 
 }  // namespace
 }  // namespace gecko
