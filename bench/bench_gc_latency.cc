@@ -1,0 +1,162 @@
+// Tail latency of user writes under GC pressure: stop-the-world foreground
+// collection vs the incremental background/throttled maintenance plane.
+//
+// A bursty host (bursts of batched writes separated by idle phases) runs
+// against GeckoFTL in two configurations on the same workload:
+//
+//   foreground-only — maintenance.incremental = false: the classic inline
+//     loop collects whole blocks on the user write path whenever the pool
+//     dips below the floor. Idle phases are wasted.
+//
+//   incremental     — the default watermark ladder, with the simulation
+//     loop handing every idle slot to Ftl::IdleTick(). Background steps
+//     collect during idle time on the idlest channels; writes at worst pay
+//     small write-credit-throttled step budgets.
+//
+// The claim (the PR's acceptance gate): at 8 channels the incremental
+// plane cuts p99 user-write latency by >= 3x while keeping steady-state
+// throughput within 10% of the foreground-only baseline.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "ftl/gecko_ftl.h"
+#include "sim/ftl_experiment.h"
+#include "workload/bursty_stream.h"
+#include "workload/workload.h"
+
+namespace gecko {
+namespace bench {
+namespace {
+
+Geometry LatencyGeometry(uint32_t channels) {
+  Geometry g;
+  g.num_blocks = 192;
+  g.pages_per_block = 16;
+  g.page_bytes = 512;
+  g.logical_ratio = 0.7;
+  g.num_channels = channels;
+  return g;
+}
+
+struct ModeResult {
+  LatencyReport latency;
+  MaintenanceStats maintenance;
+  double wa = 0;
+  double maint_p95_us = 0;  // background-window makespans (kMaintenance)
+};
+
+ModeResult RunMode(uint32_t channels, bool incremental, uint64_t seed) {
+  Geometry g = LatencyGeometry(channels);
+  FlashDevice device(g);
+  FtlConfig config = GeckoFtl::DefaultConfig(/*cache_capacity=*/256);
+  if (!incremental) {
+    config.maintenance.incremental = false;
+    config.maintenance.hard_watermark = 0;  // empty throttle band
+  } else {
+    // Idle-rich host: background ticks carry the whole GC demand, so the
+    // soft watermark sits high enough above the floor that a burst
+    // (~4 blocks of writes plus metadata churn) never reaches the
+    // emergency backstop, and the idle budget refills the pool between
+    // bursts. The throttle band is left empty here — with these idle
+    // margins it would never engage; the watermark/throttle tests
+    // exercise that band under saturation instead.
+    config.maintenance.hard_watermark = config.gc_free_block_threshold;
+    config.maintenance.soft_watermark = config.maintenance.hard_watermark + 12;
+    config.maintenance.steps_per_tick = 12;
+    // Volatile-metadata flushes (the Gecko buffer and its run merges)
+    // also move to idle time instead of spiking a mid-burst write.
+    config.maintenance.idle_flush_period = 24;
+  }
+  GeckoFtl ftl(&device, config);
+  FtlExperiment::Fill(ftl, g.NumLogicalPages(), /*batch_size=*/8);
+
+  // Skewed updates (the classic 20/80 hot set): the realistic shape of
+  // heavy multi-user traffic, and the regime where greedy victims stay
+  // dense regardless of when the collector runs.
+  HotColdWorkload workload(g.NumLogicalPages(), 0.2, 0.8, seed);
+  BurstyRequestStream::Options options;
+  options.burst_requests = 16;
+  options.idle_slots = 24;
+  options.stream.batch_size = 4;
+  options.stream.seed = seed + 1;
+  BurstyRequestStream stream(&workload, options);
+
+  IoCounters before = device.stats().Snapshot();
+  ModeResult result;
+  result.latency = FtlExperiment::MeasureGcLatency(
+      ftl, device, stream, /*warm_extents=*/6000, /*measure_extents=*/12000,
+      /*tick_idle=*/incremental);
+  IoCounters delta = device.stats().Snapshot() - before;
+  result.wa = delta.WriteAmplification(device.stats().latency().Delta());
+  result.maintenance = ftl.maintenance().stats();
+  result.maint_p95_us =
+      device.stats().RequestLatency(RequestClass::kMaintenance).P95();
+  return result;
+}
+
+}  // namespace
+
+int Main() {
+  PrintHeader(
+      "GC tail latency: foreground-only vs incremental maintenance plane",
+      "incremental, parallelism-aware collection turns channel bandwidth "
+      "into low and predictable latency (GeckoFTL Section 1; the companion "
+      "GC paper; LFTL's background GC)");
+
+  TablePrinter table({"channels", "mode", "p50 us", "p95 us", "p99 us",
+                      "max us", "thrpt kops", "WA", "bg steps",
+                      "maint p95", "throttled", "stalls"});
+  double p99_ratio_at_8 = 0;
+  double throughput_delta_at_8 = 0;
+  for (uint32_t channels : {1u, 4u, 8u}) {
+    ModeResult fg = RunMode(channels, /*incremental=*/false, 42);
+    ModeResult inc = RunMode(channels, /*incremental=*/true, 42);
+    for (const auto* r : {&fg, &inc}) {
+      table.AddRow({TablePrinter::Fmt(uint64_t{channels}),
+                    r == &fg ? "foreground" : "incremental",
+                    TablePrinter::Fmt(r->latency.p50_us, 0),
+                    TablePrinter::Fmt(r->latency.p95_us, 0),
+                    TablePrinter::Fmt(r->latency.p99_us, 0),
+                    TablePrinter::Fmt(r->latency.max_us, 0),
+                    TablePrinter::Fmt(r->latency.throughput_kops, 2),
+                    TablePrinter::Fmt(r->wa, 2),
+                    TablePrinter::Fmt(r->latency.background_steps),
+                    TablePrinter::Fmt(r->maint_p95_us, 0),
+                    TablePrinter::Fmt(r->maintenance.throttled_steps),
+                    TablePrinter::Fmt(r->maintenance.emergency_stalls)});
+    }
+    if (channels == 8) {
+      p99_ratio_at_8 = inc.latency.p99_us > 0
+                           ? fg.latency.p99_us / inc.latency.p99_us
+                           : 0;
+      throughput_delta_at_8 =
+          fg.latency.throughput_kops > 0
+              ? (inc.latency.throughput_kops - fg.latency.throughput_kops) /
+                    fg.latency.throughput_kops
+              : 0;
+    }
+  }
+  table.Print();
+
+  std::printf("\np99 user-write latency ratio at 8 channels "
+              "(foreground / incremental): %.2fx\n",
+              p99_ratio_at_8);
+  std::printf("steady-state throughput delta at 8 channels "
+              "(incremental vs foreground): %+.1f%%\n",
+              throughput_delta_at_8 * 100.0);
+  bool latency_ok = p99_ratio_at_8 >= 3.0;
+  bool throughput_ok = throughput_delta_at_8 >= -0.10;
+  PrintCheck(latency_ok,
+             "incremental background GC cuts p99 user-write latency >= 3x "
+             "at 8 channels under a bursty workload");
+  PrintCheck(throughput_ok,
+             "steady-state throughput stays within 10% of the "
+             "foreground-only baseline");
+  return latency_ok && throughput_ok ? 0 : 1;
+}
+
+}  // namespace bench
+}  // namespace gecko
+
+int main() { return gecko::bench::Main(); }

@@ -40,6 +40,9 @@ FlashSubmission ChannelQueue::Stamp(uint64_t id, FlashOpKind kind,
   sub.purpose = purpose;
   sub.submit_us = now_us;
   sub.start_us = std::max(now_us, busy_until_us_);
+  // Idle accounting: the gap between the channel going quiet and this op
+  // arriving is time the channel had nothing to do.
+  if (sub.start_us > busy_until_us_) idle_us_ += sub.start_us - busy_until_us_;
   sub.complete_us = sub.start_us + LatencyFor(kind);
   busy_until_us_ = sub.complete_us;
   return sub;

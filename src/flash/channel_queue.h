@@ -97,6 +97,13 @@ class ChannelQueue {
   /// Simulated time at which the channel finishes its last accepted op.
   double busy_until_us() const { return busy_until_us_; }
 
+  /// Total simulated time this channel has sat idle between ops: the sum,
+  /// over every stamped op, of the gap between the channel going quiet
+  /// and the op's submission. Experiments report it (ChannelReport) as
+  /// the headroom background collection can exploit; victim selection's
+  /// channel preference uses busy_until_us(), not this accumulator.
+  double idle_us() const { return idle_us_; }
+
   /// Service latency of `kind` under this channel's latency model.
   double LatencyFor(FlashOpKind kind) const;
 
@@ -115,6 +122,7 @@ class ChannelQueue {
   LatencyModel latency_;
   std::deque<Pending> pending_;
   double busy_until_us_ = 0;
+  double idle_us_ = 0;
 };
 
 /// All channels of one device plus the device-wide simulated clock.
@@ -145,6 +153,14 @@ class ChannelArray {
 
   /// Current queue depth of channel `c` (submitted, not yet drained).
   size_t depth(ChannelId c) const { return channels_[c].depth(); }
+
+  /// Simulated time at which channel `c` finishes its last accepted op.
+  /// Between drains every channel's busy-until is at or below now_us();
+  /// ordering across channels still identifies the longest-idle one —
+  /// victim selection breaks score ties toward it (gc_victim_policy.h).
+  double busy_until_us(ChannelId c) const {
+    return channels_[c].busy_until_us();
+  }
 
   /// Highest queue depth any channel reached since the last Drain() —
   /// the per-batch watermark reported in DrainResult. IoStats keeps the

@@ -83,6 +83,7 @@ uint64_t FlashDevice::WritePageAsync(PhysicalAddress addr, SpareArea spare,
 
   spare.seq = next_seq_++;
   spare.erase_count = static_cast<uint16_t>(block.erase_count);
+  block.last_program_seq = spare.seq;
   page.written = true;
   page.payload = payload;
   page.spare = spare;
@@ -134,6 +135,7 @@ void FlashDevice::EraseBlockAsync(BlockId block_id, IoPurpose purpose,
   }
   block.write_pointer = 0;
   ++block.erase_count;
+  block.last_program_seq = 0;
   block.last_erase_seq = next_seq_++;
   ++global_erase_count_;
   stats_.OnErase(purpose);
@@ -159,6 +161,11 @@ uint32_t FlashDevice::EraseCount(BlockId block) const {
 uint64_t FlashDevice::LastEraseSeq(BlockId block) const {
   GECKO_CHECK_LT(block, geometry_.num_blocks);
   return blocks_[block].last_erase_seq;
+}
+
+uint64_t FlashDevice::LastProgramSeq(BlockId block) const {
+  GECKO_CHECK_LT(block, geometry_.num_blocks);
+  return blocks_[block].last_program_seq;
 }
 
 }  // namespace gecko

@@ -73,6 +73,19 @@ class FlashDevice {
   }
   uint32_t num_channels() const { return geometry_.num_channels; }
 
+  /// Simulated time at which channel `c` finishes its last accepted op.
+  /// GC victim selection breaks score ties toward the channel whose clock
+  /// is furthest behind (the longest-idle one).
+  double ChannelBusyUntilUs(ChannelId c) const {
+    return channels_.busy_until_us(c);
+  }
+
+  /// Total simulated time channel `c` has sat idle between ops (reported
+  /// through FtlExperiment::Channels as background-GC headroom).
+  double ChannelIdleUs(ChannelId c) const {
+    return channels_.channel(c).idle_us();
+  }
+
   // --- Async submission/completion pipeline ------------------------------
 
   /// Opens a batch window: subsequent ops park on their channel queues
@@ -167,6 +180,11 @@ class FlashDevice {
   /// Sequence number at which `block` was last erased (0 if never).
   uint64_t LastEraseSeq(BlockId block) const;
 
+  /// Sequence number of the last page programmed into `block` (0 if none
+  /// since the last erase). Firmware tracks this in RAM for free (8 bytes
+  /// per block); cost-benefit GC uses it as the block's data age.
+  uint64_t LastProgramSeq(BlockId block) const;
+
   /// Flat page index of `addr` (block-major), for dense per-page arrays.
   uint64_t FlatIndex(PhysicalAddress addr) const {
     return uint64_t{addr.block} * geometry_.pages_per_block + addr.page;
@@ -183,6 +201,7 @@ class FlashDevice {
     uint32_t write_pointer = 0;   // next page offset to program
     uint32_t erase_count = 0;
     uint64_t last_erase_seq = 0;  // global seq when last erased
+    uint64_t last_program_seq = 0;  // global seq of the newest page (0: none)
   };
 
   void CheckAddress(PhysicalAddress addr) const;

@@ -18,6 +18,17 @@ const char* IoPurposeName(IoPurpose p) {
   return "?";
 }
 
+const char* RequestClassName(RequestClass c) {
+  switch (c) {
+    case RequestClass::kWrite: return "write";
+    case RequestClass::kRead: return "read";
+    case RequestClass::kTrim: return "trim";
+    case RequestClass::kFlush: return "flush";
+    case RequestClass::kMaintenance: return "maintenance";
+  }
+  return "?";
+}
+
 namespace {
 uint64_t Sum(const std::array<uint64_t, kNumIoPurposes>& a) {
   uint64_t s = 0;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "flash/latency.h"
+#include "flash/latency_histogram.h"
 
 namespace gecko {
 
@@ -37,6 +38,23 @@ enum class IoPurpose : uint8_t {
 inline constexpr int kNumIoPurposes = 8;
 
 const char* IoPurposeName(IoPurpose p);
+
+/// What a recorded end-to-end latency sample was servicing. One sample is
+/// recorded per host request (its device batch window's makespan), split
+/// so the tail of user-visible writes is measurable separately from reads,
+/// trims, flushes, and background-maintenance windows (which run while the
+/// host is idle and must NOT pollute the user-visible distributions).
+enum class RequestClass : uint8_t {
+  kWrite = 0,    // host kWrite requests
+  kRead,         // host kRead requests
+  kTrim,         // host kTrim requests
+  kFlush,        // host kFlush requests
+  kMaintenance,  // background maintenance ticks (GC steps, idle flushes)
+};
+
+inline constexpr int kNumRequestClasses = 5;
+
+const char* RequestClassName(RequestClass c);
 
 /// Raw operation counts, indexable by purpose. Value-type; subtractable to
 /// form per-interval deltas.
@@ -128,6 +146,17 @@ class IoStats {
   /// Advances the simulated clock by one drained batch's makespan.
   void AdvanceElapsed(double us) { elapsed_us_ += us; }
 
+  // --- Per-request latency histograms -----------------------------------
+
+  /// Records one request's end-to-end latency (its batch window makespan).
+  /// Fed by the FTL once per serviced host request / maintenance tick.
+  void OnRequestLatency(RequestClass c, double us) {
+    request_latency_[static_cast<int>(c)].Record(us);
+  }
+  const LatencyHistogram& RequestLatency(RequestClass c) const {
+    return request_latency_[static_cast<int>(c)];
+  }
+
   const IoCounters& counters() const { return counters_; }
   const LatencyModel& latency() const { return latency_; }
   /// Simulated time: sum of drained-batch makespans (channel-overlapped).
@@ -169,6 +198,7 @@ class IoStats {
     // submissions still complete after a Reset.
     max_queue_depth_ = 0;
     submissions_ = 0;
+    for (LatencyHistogram& h : request_latency_) h.Reset();
   }
 
  private:
@@ -180,6 +210,7 @@ class IoStats {
   std::vector<uint32_t> channel_depth_;
   uint32_t max_queue_depth_ = 0;
   uint64_t submissions_ = 0;
+  std::array<LatencyHistogram, kNumRequestClasses> request_latency_;
 };
 
 }  // namespace gecko

@@ -1,0 +1,102 @@
+// Log-bucketed latency histogram for tail-latency accounting.
+//
+// The maintenance-plane refactor is justified by its effect on the *tail*
+// of the user-visible latency distribution, not the mean: a stop-the-world
+// block collection inflates a handful of requests by an entire
+// migrate+erase cycle while leaving the average nearly unchanged. This
+// histogram records per-request latencies into geometrically spaced
+// buckets (constant relative error, ~7% per bucket) so p50/p95/p99/max can
+// be reported without storing individual samples.
+
+#ifndef GECKOFTL_FLASH_LATENCY_HISTOGRAM_H_
+#define GECKOFTL_FLASH_LATENCY_HISTOGRAM_H_
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace gecko {
+
+class LatencyHistogram {
+ public:
+  /// Records one latency sample (microseconds; negatives clamp to 0).
+  void Record(double us) {
+    if (us < 0) us = 0;
+    ++buckets_[BucketOf(us)];
+    ++count_;
+    sum_us_ += us;
+    if (us > max_us_) max_us_ = us;
+  }
+
+  /// Latency at quantile `q` in [0, 1], interpolated inside the bucket.
+  /// Returns 0 with no samples. Percentile(1.0) returns the exact max.
+  double Percentile(double q) const {
+    if (count_ == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    if (q >= 1.0) return max_us_;
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count_));
+    if (rank >= count_) rank = count_ - 1;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      if (buckets_[i] == 0) continue;
+      if (seen + buckets_[i] > rank) {
+        // Midpoint of the bucket's range, never above the observed max.
+        double mid = (BucketLowerUs(i) + BucketUpperUs(i)) / 2.0;
+        return std::min(mid, max_us_);
+      }
+      seen += buckets_[i];
+    }
+    return max_us_;
+  }
+
+  double P50() const { return Percentile(0.50); }
+  double P95() const { return Percentile(0.95); }
+  double P99() const { return Percentile(0.99); }
+  double MaxUs() const { return max_us_; }
+  double MeanUs() const {
+    return count_ == 0 ? 0.0 : sum_us_ / static_cast<double>(count_);
+  }
+  uint64_t count() const { return count_; }
+
+  void Merge(const LatencyHistogram& other) {
+    for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_us_ += other.sum_us_;
+    max_us_ = std::max(max_us_, other.max_us_);
+  }
+
+  void Reset() { *this = LatencyHistogram(); }
+
+ private:
+  // Bucket 0 covers [0, kMinUs); bucket i >= 1 covers
+  // [kMinUs * kGrowth^(i-1), kMinUs * kGrowth^i). 512 buckets at 7% growth
+  // reach ~3e13 us — far beyond any simulated makespan.
+  static constexpr double kMinUs = 0.5;
+  static constexpr double kGrowth = 1.07;
+  static constexpr size_t kNumBuckets = 512;
+
+  static size_t BucketOf(double us) {
+    if (us < kMinUs) return 0;
+    double i = std::floor(std::log(us / kMinUs) / std::log(kGrowth)) + 1.0;
+    if (i < 1.0) return 1;
+    if (i >= static_cast<double>(kNumBuckets)) return kNumBuckets - 1;
+    return static_cast<size_t>(i);
+  }
+  static double BucketLowerUs(size_t i) {
+    return i == 0 ? 0.0 : kMinUs * std::pow(kGrowth, static_cast<double>(i - 1));
+  }
+  static double BucketUpperUs(size_t i) {
+    return i == 0 ? kMinUs
+                  : kMinUs * std::pow(kGrowth, static_cast<double>(i));
+  }
+
+  std::array<uint64_t, kNumBuckets> buckets_{};
+  uint64_t count_ = 0;
+  double sum_us_ = 0;
+  double max_us_ = 0;
+};
+
+}  // namespace gecko
+
+#endif  // GECKOFTL_FLASH_LATENCY_HISTOGRAM_H_

@@ -5,14 +5,29 @@
 
 namespace gecko {
 
+namespace {
+RequestClass ClassOf(IoOp op) {
+  switch (op) {
+    case IoOp::kWrite: return RequestClass::kWrite;
+    case IoOp::kRead: return RequestClass::kRead;
+    case IoOp::kTrim: return RequestClass::kTrim;
+    case IoOp::kFlush: return RequestClass::kFlush;
+  }
+  return RequestClass::kWrite;
+}
+}  // namespace
 
 BaseFtl::BaseFtl(FlashDevice* device, const FtlConfig& config)
     : device_(device),
       config_(config),
-      blocks_(device, config.gc_policy == GcPolicy::kNeverCollectMetadata),
+      // Any policy that never selects metadata victims needs the block
+      // manager's auto-erase of fully-invalid metadata blocks instead.
+      blocks_(device, !GcPolicyCollectsMetadata(config.gc_policy)),
       translation_(device->geometry(), device, &blocks_),
       cache_(config.cache_capacity),
-      bvc_(device->geometry().num_blocks, 0) {
+      victim_policy_(MakeGcVictimPolicy(config.gc_policy)),
+      bvc_(device->geometry().num_blocks, 0),
+      scheduler_(this, config) {
   if (config.wear_leveling) {
     wear_ = std::make_unique<WearLeveler>(device, config.wear_gap_threshold);
   }
@@ -37,7 +52,11 @@ Status BaseFtl::Submit(IoRequest& request, IoResult* result) {
     ++counters_.flushes;
     device_->BeginBatch();
     FlushAll();
-    device_->EndBatch();
+    FlashDevice::BatchResult batch = device_->EndBatch();
+    if (!device_->in_batch() && batch.ops > 0) {
+      device_->stats().OnRequestLatency(RequestClass::kFlush,
+                                        batch.elapsed_us);
+    }
     return res.status;
   }
   if (n == 0) {
@@ -85,7 +104,15 @@ Status BaseFtl::Submit(IoRequest& request, IoResult* result) {
     case IoOp::kFlush:
       break;  // handled above
   }
-  device_->EndBatch();
+  FlashDevice::BatchResult batch = device_->EndBatch();
+  // Tail-latency accounting: one sample per request, its batch window's
+  // makespan. Inner windows (a caller-managed batch) record nothing —
+  // the makespan is only known at the outermost close — and neither do
+  // zero-op windows (e.g. a trim of never-written pages), which would
+  // flood the distribution with 0-us samples.
+  if (!device_->in_batch() && batch.ops > 0) {
+    device_->stats().OnRequestLatency(ClassOf(request.op), batch.elapsed_us);
+  }
   return res.status;
 }
 
@@ -108,7 +135,9 @@ Status BaseFtl::WriteExtent(Lpn lpn, uint64_t payload, bool tombstone,
     ++counters_.writes;
     device_->stats().OnLogicalWrite();
   }
-  EnsureFreeSpace();
+  // GC admission: throttled incremental steps below the hard watermark,
+  // the run-to-completion backstop below the emergency floor.
+  scheduler_.BeforeUserWrite();
 
   // Program the new version on a free user page. A trim programs a
   // tombstone: a user page flagged dead-on-read, so the whole write-path
@@ -159,7 +188,7 @@ Status BaseFtl::WriteExtent(Lpn lpn, uint64_t payload, bool tombstone,
   }
   NoteCacheOp();
   if (!batched) EnforceDirtyCap();
-  MaybeWearLevel();
+  scheduler_.AfterUserWrite();  // wear-leveler gradual-scan feed
   return Status::Ok();
 }
 
@@ -337,17 +366,20 @@ void BaseFtl::FlushAll() {
   FlushMetadata();
 }
 
-void BaseFtl::MaybeWearLevel() {
-  if (wear_ == nullptr) return;
+bool BaseFtl::WearScanStep() {
+  if (wear_ == nullptr) return false;
   BlockId victim = wear_->OnWrite();
-  if (victim != kInvalidU32 && blocks_.BlockType(victim) == PageType::kUser &&
-      !blocks_.IsActive(victim) && !blocks_.IsPinned(victim) && !in_gc_) {
-    in_gc_ = true;
-    blocks_.set_compact_mode(true);
-    CollectUserBlock(victim);
-    blocks_.set_compact_mode(false);
-    in_gc_ = false;
+  if (victim == kInvalidU32 || blocks_.BlockType(victim) != PageType::kUser ||
+      blocks_.IsActive(victim) || blocks_.IsPinned(victim) || in_gc_) {
+    return false;
   }
+  if (gc_.phase != GcPhase::kIdle) {
+    // An incremental collection is mid-flight; wear leveling is
+    // opportunistic and the gradual scan will rediscover the block.
+    return false;
+  }
+  RunCollectionToCompletion(victim);
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -492,11 +524,9 @@ void BaseFtl::EvictOne() {
 }
 
 void BaseFtl::NoteCacheOp() {
-  if (config_.checkpoint_period == 0) return;
-  if (++cache_ops_since_checkpoint_ >= config_.checkpoint_period) {
-    cache_ops_since_checkpoint_ = 0;
-    TakeCheckpoint();
-  }
+  // The scheduler owns the checkpoint cadence (one checkpoint every
+  // `checkpoint_period` cache inserts/updates, Section 4.3).
+  if (scheduler_.OnCacheOp()) TakeCheckpoint();
 }
 
 void BaseFtl::TakeCheckpoint() {
@@ -522,113 +552,165 @@ void BaseFtl::EnforceDirtyCap() {
 }
 
 // ---------------------------------------------------------------------------
-// Garbage collection (Sections 4, 4.1, 4.2).
+// Garbage collection (Sections 4, 4.1, 4.2), as a resumable state machine.
 // ---------------------------------------------------------------------------
 
-void BaseFtl::EnsureFreeSpace() {
-  if (in_gc_) return;
+GcStepOutcome BaseFtl::GcStep(uint32_t max_migrations) {
+  GcStepOutcome out;
+  if (in_gc_) return out;  // re-entrant call: refuse, make no progress
   in_gc_ = true;
-  // A single collection can be transiently net-zero (migrations and
-  // metadata read-modify-writes consume pages before the victim's erase
-  // frees them), so progress is checked across the loop, not per round.
-  // While GC runs, the block manager allocates in compact mode: without
-  // it, channel striping could open a fresh active on every stripe slot
-  // of every group mid-collection and starve the pool.
+  // GC's own allocations run in compact mode: without it, channel striping
+  // could open a fresh active on every stripe slot of every group
+  // mid-collection and starve the pool. Restored between steps so user
+  // writes interleaved with an incremental collection keep striping.
+  bool prev_compact = blocks_.compact_mode();
   blocks_.set_compact_mode(true);
-  uint64_t rounds = 0;
-  while (blocks_.NumFreeBlocks() < config_.gc_free_block_threshold) {
-    CollectOneBlock();
-#ifdef GECKO_DEBUG_GC_GROUND_TRUTH
-    if (rounds + 2 >= uint64_t{2} * device_->geometry().num_blocks) {
-      const Geometry& g = device_->geometry();
-      for (BlockId b = 0; b < g.num_blocks; ++b) {
-        if (blocks_.BlockType(b) != PageType::kUser) continue;
-        uint32_t live = 0, stale = 0, unwritten = 0;
-        for (uint32_t p = 0; p < g.pages_per_block; ++p) {
-          PhysicalAddress a{b, p};
-          if (!device_->IsWritten(a)) { ++unwritten; continue; }
-          PageReadResult r = device_->ReadSpare(a, IoPurpose::kOther);
-          Lpn lpn = r.spare.key;
-          const MappingEntry* e = cache_.Peek(lpn);
-          PhysicalAddress auth =
-              e != nullptr ? e->ppa : translation_.Lookup(lpn, IoPurpose::kOther);
-          if (auth == a) ++live; else ++stale;
-        }
-        std::fprintf(stderr,
-                     "block %3u: live=%2u stale=%2u unwritten=%2u bvc=%2u "
-                     "active=%d\n",
-                     b, live, stale, unwritten, bvc_[b],
-                     blocks_.IsActive(b) ? 1 : 0);
-      }
-    }
-#endif
-    GECKO_CHECK_LE(++rounds, uint64_t{2} * device_->geometry().num_blocks)
-        << "GC livelock: no net space reclaimed";
+  switch (gc_.phase) {
+    case GcPhase::kIdle:
+      StartCollection(SelectVictim());
+      out.advanced = true;
+      break;
+    case GcPhase::kMigrate:
+      out.migrations = gc_.type == PageType::kUser
+                           ? MigrateUserPages(max_migrations)
+                           : MigrateMetadataPages(max_migrations);
+      out.advanced = true;
+      break;
+    case GcPhase::kFlush:
+      // Grouped invalidation reports collected during the migrate steps
+      // (an in-flight batched request defers them) reach the store before
+      // the erase record can obsolete them.
+      FlushPendingInvalid();
+      gc_.phase = GcPhase::kErase;
+      out.advanced = true;
+      break;
+    case GcPhase::kErase:
+      FinishCollection();
+      out.advanced = true;
+      out.erased = true;
+      break;
   }
-  blocks_.set_compact_mode(false);
+  blocks_.set_compact_mode(prev_compact);
   in_gc_ = false;
+  return out;
+}
+
+void BaseFtl::RunCollectionToCompletion(BlockId forced_victim) {
+  GECKO_CHECK(!in_gc_);
+  if (gc_.phase == GcPhase::kIdle && forced_victim != kInvalidU32) {
+    in_gc_ = true;
+    bool prev_compact = blocks_.compact_mode();
+    blocks_.set_compact_mode(true);
+    StartCollection(forced_victim);
+    blocks_.set_compact_mode(prev_compact);
+    in_gc_ = false;
+  }
+  while (gc_.phase != GcPhase::kIdle) {
+    GcStepOutcome o = GcStep(~uint32_t{0});
+    GECKO_CHECK(o.advanced) << "GC state machine refused to advance";
+  }
+}
+
+bool BaseFtl::ForceGc() {
+  if (in_gc_) {
+    ++counters_.gc_force_skips;
+    return false;
+  }
+  // One full cycle: resume the in-flight collection if any, else select a
+  // fresh victim, and run until its erase lands.
+  do {
+    GcStepOutcome o = GcStep(~uint32_t{0});
+    GECKO_CHECK(o.advanced) << "GC state machine refused to advance";
+    if (o.erased) return true;
+  } while (true);
+}
+
+uint64_t BaseFtl::IdleTick() {
+  // Background maintenance runs in its own batch window, so its flash ops
+  // overlap across channels and its cost is charged to host-idle time —
+  // never to a user request's latency.
+  device_->BeginBatch();
+  uint64_t steps = scheduler_.IdleTick();
+  FlashDevice::BatchResult batch = device_->EndBatch();
+  if (!device_->in_batch() && batch.ops > 0) {
+    device_->stats().OnRequestLatency(RequestClass::kMaintenance,
+                                      batch.elapsed_us);
+  }
+  return steps;
 }
 
 BlockId BaseFtl::SelectVictim() {
-  // Greedy: the block with the fewest valid pages (equivalently, for full
-  // blocks, the most invalid pages). GeckoFTL's policy restricts the
-  // candidate set to user blocks (Section 4.2).
+  // One linear scan through the pluggable policy object. The paper's
+  // kNeverCollectMetadata (and cost-benefit) restrict the candidate set
+  // to user blocks (Section 4.2); greedy-all admits metadata blocks.
   const Geometry& g = device_->geometry();
-  BlockId best = kInvalidU32;
-  int64_t best_valid = INT64_MAX;
-  for (BlockId b = 0; b < g.num_blocks; ++b) {
-    PageType type = blocks_.BlockType(b);
-    if (type == PageType::kFree) continue;
-    if (blocks_.IsActive(b) || blocks_.IsPinned(b)) continue;
-    if (config_.gc_policy == GcPolicy::kNeverCollectMetadata &&
-        type != PageType::kUser) {
-      continue;
-    }
-    uint32_t written = device_->PagesWritten(b);
-    uint32_t invalid = type == PageType::kUser
-                           ? bvc_[b]
-                           : written - blocks_.MetadataLivePages(b);
-    int64_t valid = int64_t{written} - invalid;
-    if (valid < best_valid) {
-      best_valid = valid;
-      best = b;
-    }
-  }
+  const bool metadata_ok = GcPolicyCollectsMetadata(config_.gc_policy);
+  const uint64_t now_seq = device_->CurrentSeq();
+  BlockId best = SelectGcVictim(
+      g.num_blocks, *victim_policy_, [&](BlockId b, GcVictimCandidate* c) {
+        PageType type = blocks_.BlockType(b);
+        if (type == PageType::kFree) return false;
+        if (blocks_.IsActive(b) || blocks_.IsPinned(b)) return false;
+        if (!metadata_ok && type != PageType::kUser) return false;
+        uint32_t written = device_->PagesWritten(b);
+        uint32_t invalid = type == PageType::kUser
+                               ? bvc_[b]
+                               : written - blocks_.MetadataLivePages(b);
+        c->valid = written >= invalid ? written - invalid : 0;
+        c->written = written;
+        c->pages_per_block = g.pages_per_block;
+        uint64_t last = device_->LastProgramSeq(b);
+        c->age = now_seq >= last ? now_seq - last : 0;
+        c->channel_busy_until_us =
+            device_->ChannelBusyUntilUs(device_->ChannelOf(b));
+        return true;
+      });
   GECKO_CHECK_NE(best, kInvalidU32) << "no GC victim available";
   return best;
 }
 
-void BaseFtl::CollectOneBlock() {
-  BlockId victim = SelectVictim();
+void BaseFtl::StartCollection(BlockId victim) {
+  GECKO_CHECK_NE(victim, kInvalidU32);
+  GECKO_CHECK(gc_.phase == GcPhase::kIdle);
   ++counters_.gc_collections;
-  if (blocks_.BlockType(victim) == PageType::kUser) {
-    CollectUserBlock(victim);
+  gc_.victim = victim;
+  gc_.type = blocks_.BlockType(victim);
+  gc_.next_page = 0;
+  if (gc_.type == PageType::kUser) {
+    // Reports deferred by an in-flight batched request must reach the
+    // store before its bitmap is queried.
+    FlushPendingInvalid();
+    // One GC query to the page-validity store (Section 4, Figure 7).
+    gc_.invalid = pvm()->QueryInvalidPages(victim);
+    gc_victim_ = victim;
+    gc_victim_fresh_invalid_ = Bitmap(device_->geometry().pages_per_block);
   } else {
-    CollectMetadataBlock(victim);
+    gc_.invalid = Bitmap();
   }
+  gc_.phase = GcPhase::kMigrate;
 }
 
-void BaseFtl::CollectUserBlock(BlockId victim) {
+uint32_t BaseFtl::MigrateUserPages(uint32_t max_migrations) {
   const Geometry& g = device_->geometry();
-  // Reports deferred by an in-flight batched request must reach the store
-  // before its bitmap is queried. (Here, not in CollectOneBlock: the
-  // wear-leveling hook enters this function directly.)
-  FlushPendingInvalid();
-  // One GC query to the page-validity store (Section 4, Figure 7).
-  Bitmap invalid = pvm()->QueryInvalidPages(victim);
-  gc_victim_ = victim;
-  gc_victim_fresh_invalid_ = Bitmap(g.pages_per_block);
-
-  for (uint32_t p = 0; p < g.pages_per_block; ++p) {
-    if (invalid.Test(p)) {
+  const BlockId victim = gc_.victim;
+  uint32_t migrated = 0;
+  while (gc_.next_page < g.pages_per_block && migrated < max_migrations) {
+    const uint32_t p = gc_.next_page++;
+    if (gc_.invalid.Test(p)) {
       continue;  // known invalid: no spare read needed
     }
     // Reports that arrived after the query snapshot (from syncs triggered
-    // inside this very loop) supersede the snapshot.
+    // by migration-driven evictions, or by user writes interleaved with
+    // an incremental collection) supersede the snapshot.
     if (gc_victim_fresh_invalid_.Test(p)) continue;
     PhysicalAddress addr{victim, p};
     PageReadResult spare = device_->ReadSpare(addr, IoPurpose::kGcMigration);
-    if (!spare.written) break;  // sequential programming: rest are free
+    if (!spare.written) {
+      // Sequential programming: the rest are free. (No write can land on
+      // the victim mid-collection — it is neither free nor active.)
+      gc_.next_page = g.pages_per_block;
+      break;
+    }
     GECKO_CHECK(spare.spare.IsUser());
     Lpn lpn = spare.spare.key;
 
@@ -641,8 +723,29 @@ void BaseFtl::CollectUserBlock(BlockId victim) {
     MappingEntry* entry = cache_.Find(lpn);
     if (entry != nullptr && entry->ppa != addr) {
       if (entry->uip) {
-        ++counters_.uip_detections;
-        entry->uip = false;
+        if (spare.spare.seq >= last_recovery_seq_) {
+          // Exactly-tracked page: every *identified* stale copy younger
+          // than the last recovery is in the query snapshot or the fresh
+          // mirror, so reaching this check means this page IS the
+          // unidentified before-image — about to be erased, so the flag
+          // clears and the next sync writes no report.
+          ++counters_.uip_detections;
+          entry->uip = false;
+        } else {
+          // Pre-recovery stale copy: it may be an *already-identified*
+          // copy whose store record died with a crash and evaded
+          // re-derivation, while the entry's real unidentified
+          // before-image sits elsewhere. Clearing the flag here would
+          // leave that before-image unidentified forever (a zombie once
+          // this entry is evicted); leaving it untouched would let the
+          // next sync report the translation-resident address without
+          // verification — possibly this very page after its block is
+          // erased and rewritten (the Appendix C.3.2 resurrection
+          // hazard). Mark the entry uncertain instead: the sync then
+          // verifies via a spare read that the reported page still holds
+          // this logical page.
+          entry->uncertain = true;
+        }
       }
       continue;
     }
@@ -690,68 +793,92 @@ void BaseFtl::CollectUserBlock(BlockId victim) {
     device_->WritePage(dest, new_spare, page.payload, IoPurpose::kGcMigration);
     ++counters_.gc_migrations;
     UpsertCacheEntry(lpn, dest, /*uip=*/false);
+    ++migrated;
   }
-
-  gc_victim_ = kInvalidU32;
-#ifdef GECKO_DEBUG_GC_GROUND_TRUTH
-  for (uint32_t p = 0; p < g.pages_per_block; ++p) {
-    PhysicalAddress a{victim, p};
-    if (!device_->IsWritten(a)) continue;
-    PageReadResult r = device_->ReadSpare(a, IoPurpose::kOther);
-    if (!r.spare.IsUser()) continue;
-    Lpn lpn = r.spare.key;
-    const MappingEntry* e = cache_.Peek(lpn);
-    PhysicalAddress auth =
-        e != nullptr ? e->ppa : translation_.Lookup(lpn, IoPurpose::kOther);
-    if (auth == a) {
-      std::fprintf(stderr,
-                   "ERASING LIVE PAGE lpn=%u page=%s invalid_bit=%d fresh=%d "
-                   "cached=%d uip=%d dirty=%d uncertain=%d\n",
-                   lpn, a.ToString().c_str(), invalid.Test(p) ? 1 : 0,
-                   gc_victim_fresh_invalid_.size() > 0 &&
-                           gc_victim_fresh_invalid_.Test(p)
-                       ? 1
-                       : 0,
-                   e != nullptr, e != nullptr ? e->uip : -1,
-                   e != nullptr ? e->dirty : -1,
-                   e != nullptr ? e->uncertain : -1);
-      std::abort();
-    }
-  }
-#endif
-  // Record the erase in the validity store (one cheap buffered insert for
-  // Logarithmic Gecko; Section 3's erase flag) and erase the block. Any
-  // reports deferred during this collection (fresh invalidations from
-  // migration-driven evictions can target the victim itself) must land
-  // before the erase record obsoletes them.
-  FlushPendingInvalid();
-  pvm()->RecordErase(victim);
-  bvc_[victim] = 0;
-  EraseBlockForGc(victim, IoPurpose::kGcMigration);
+  if (gc_.next_page >= g.pages_per_block) gc_.phase = GcPhase::kFlush;
+  return migrated;
 }
 
-void BaseFtl::CollectMetadataBlock(BlockId victim) {
+uint32_t BaseFtl::MigrateMetadataPages(uint32_t max_migrations) {
   const Geometry& g = device_->geometry();
-  PageType type = blocks_.BlockType(victim);
-  for (uint32_t p = 0; p < g.pages_per_block; ++p) {
+  const BlockId victim = gc_.victim;
+  const PageType type = gc_.type;
+  uint32_t migrated = 0;
+  while (gc_.next_page < g.pages_per_block && migrated < max_migrations) {
+    const uint32_t p = gc_.next_page++;
     PhysicalAddress addr{victim, p};
     PageReadResult spare = device_->ReadSpare(
         addr, type == PageType::kTranslation ? IoPurpose::kTranslation
                                              : IoPurpose::kPvm);
-    if (!spare.written) break;
+    if (!spare.written) {
+      gc_.next_page = g.pages_per_block;
+      break;
+    }
     if (type == PageType::kTranslation) {
       TPageId t = spare.spare.key;
+      // A sync interleaved with this incremental collection may have
+      // replaced the page already; only the current version migrates.
       if (translation_.Exists(t) && translation_.Location(t) == addr) {
         translation_.MigrateTPage(t, IoPurpose::kTranslation);
         ++counters_.gc_migrations;
+        ++migrated;
       }
     } else {
       MigratePvmPage(addr);
+      ++migrated;
     }
   }
-  EraseBlockForGc(victim, type == PageType::kTranslation
-                              ? IoPurpose::kTranslation
-                              : IoPurpose::kPvm);
+  if (gc_.next_page >= g.pages_per_block) gc_.phase = GcPhase::kFlush;
+  return migrated;
+}
+
+void BaseFtl::FinishCollection() {
+  GECKO_CHECK(gc_.phase == GcPhase::kErase);
+  const BlockId victim = gc_.victim;
+  if (gc_.type == PageType::kUser) {
+    gc_victim_ = kInvalidU32;
+#ifdef GECKO_DEBUG_GC_GROUND_TRUTH
+    const Geometry& g = device_->geometry();
+    for (uint32_t p = 0; p < g.pages_per_block; ++p) {
+      PhysicalAddress a{victim, p};
+      if (!device_->IsWritten(a)) continue;
+      PageReadResult r = device_->ReadSpare(a, IoPurpose::kOther);
+      if (!r.spare.IsUser()) continue;
+      Lpn lpn = r.spare.key;
+      const MappingEntry* e = cache_.Peek(lpn);
+      PhysicalAddress auth =
+          e != nullptr ? e->ppa : translation_.Lookup(lpn, IoPurpose::kOther);
+      if (auth == a) {
+        std::fprintf(stderr,
+                     "ERASING LIVE PAGE lpn=%u page=%s invalid_bit=%d "
+                     "fresh=%d cached=%d uip=%d dirty=%d uncertain=%d\n",
+                     lpn, a.ToString().c_str(), gc_.invalid.Test(p) ? 1 : 0,
+                     gc_victim_fresh_invalid_.size() > 0 &&
+                             gc_victim_fresh_invalid_.Test(p)
+                         ? 1
+                         : 0,
+                     e != nullptr, e != nullptr ? e->uip : -1,
+                     e != nullptr ? e->dirty : -1,
+                     e != nullptr ? e->uncertain : -1);
+        std::abort();
+      }
+    }
+#endif
+    // Record the erase in the validity store (one cheap buffered insert
+    // for Logarithmic Gecko; Section 3's erase flag) and erase the block,
+    // in one crash-atomic step. Any reports still pending (fresh
+    // invalidations from migration-driven evictions can target the victim
+    // itself) must land before the erase record obsoletes them.
+    FlushPendingInvalid();
+    pvm()->RecordErase(victim);
+    bvc_[victim] = 0;
+    EraseBlockForGc(victim, IoPurpose::kGcMigration);
+  } else {
+    EraseBlockForGc(victim, gc_.type == PageType::kTranslation
+                                ? IoPurpose::kTranslation
+                                : IoPurpose::kPvm);
+  }
+  gc_ = GcCursor{};
 }
 
 void BaseFtl::MigratePvmPage(PhysicalAddress) {
@@ -1005,13 +1132,23 @@ RecoveryReport BaseFtl::CrashAndRecover() {
       << "power failure inside a device batch window";
   OnPowerFailing();
 
-  // Power failure: all RAM-resident structures vanish.
+  // Power failure: all RAM-resident structures vanish — including the
+  // resumable-GC cursor. A collection interrupted at any step boundary is
+  // simply abandoned: its migrated copies are ordinary out-of-place
+  // writes (recovered like any others), and stale not-yet-erased victim
+  // copies are fenced by the last_recovery_seq_ validation in
+  // MigrateUserPages before any later collection could migrate them.
   cache_.Reset();
   translation_.ResetRamState();
   blocks_.ResetRamState();
   std::fill(bvc_.begin(), bvc_.end(), 0u);
-  cache_ops_since_checkpoint_ = 0;
   recovered_versions_.clear();
+  gc_ = GcCursor{};
+  gc_victim_ = kInvalidU32;
+  gc_victim_fresh_invalid_ = Bitmap();
+  in_gc_ = false;
+  blocks_.set_compact_mode(false);
+  scheduler_.ResetAfterCrash();
 
   RecoveryReport report;
   last_bid_ = BuildBid(&report);  // step 1

@@ -24,6 +24,8 @@
 #include "ftl/block_manager.h"
 #include "ftl/ftl.h"
 #include "ftl/ftl_config.h"
+#include "ftl/gc_victim_policy.h"
+#include "ftl/maintenance_scheduler.h"
 #include "ftl/mapping_cache.h"
 #include "ftl/translation_table.h"
 #include "ftl/wear_leveler.h"
@@ -31,7 +33,7 @@
 
 namespace gecko {
 
-class BaseFtl : public Ftl {
+class BaseFtl : public Ftl, private MaintenanceHost {
  public:
   BaseFtl(FlashDevice* device, const FtlConfig& config);
   ~BaseFtl() override = default;
@@ -58,15 +60,24 @@ class BaseFtl : public Ftl {
   /// Identified-invalid count of a user block (the BVC of Figure 7).
   uint32_t InvalidCount(BlockId block) const { return bvc_[block]; }
 
-  /// Forces one GC collection cycle (tests/benchmarks).
-  void ForceGc() override {
-    if (in_gc_) return;
-    in_gc_ = true;
-    blocks_.set_compact_mode(true);
-    CollectOneBlock();
-    blocks_.set_compact_mode(false);
-    in_gc_ = false;
-  }
+  /// Forces one full GC collection cycle (tests/benchmarks), resuming the
+  /// in-flight incremental collection if one exists. False (and a
+  /// gc_force_skips count) when refused because GC was already executing.
+  bool ForceGc() override;
+
+  /// One background-maintenance tick inside its own device batch window;
+  /// the window's makespan is recorded under RequestClass::kMaintenance.
+  uint64_t IdleTick() override;
+
+  /// The maintenance plane (watermarks, scheduling counters).
+  const MaintenanceScheduler& maintenance() const { return scheduler_; }
+
+  /// Phase of the resumable GC state machine (kIdle = no collection in
+  /// flight). Tests use this to inject crashes at step boundaries.
+  GcPhase gc_phase() const { return gc_.phase; }
+
+  /// The active victim-selection policy object.
+  const GcVictimPolicy& victim_policy() const { return *victim_policy_; }
 
  protected:
   /// The page-validity store, owned by the subclass.
@@ -152,8 +163,17 @@ class BaseFtl : public Ftl {
   /// translation page) and flushes store-specific volatile state.
   void FlushAll();
 
-  /// Runs the wear-leveling check a user-data write triggers.
-  void MaybeWearLevel();
+  // --- MaintenanceHost (the mechanics the scheduler drives) -------------
+
+  uint32_t FreeBlocks() const override { return blocks_.NumFreeBlocks(); }
+  bool GcInFlight() const override { return gc_.phase != GcPhase::kIdle; }
+  GcStepOutcome GcStep(uint32_t max_migrations) override;
+  void TakeCheckpoint() override;
+  void FlushVolatileMetadata() override { FlushMetadata(); }
+  bool WearScanStep() override;
+  uint32_t DeviceBlocks() const override {
+    return device_->geometry().num_blocks;
+  }
 
 #ifdef GECKO_DEBUG_GC_GROUND_TRUTH
   /// Debug-only: aborts if `addr` is the authoritative location of the
@@ -169,11 +189,40 @@ class BaseFtl : public Ftl {
   /// Evicts the LRU entry, synchronizing first if dirty.
   void EvictOne();
 
-  /// Runs GC until the free pool is back above the threshold.
-  void EnsureFreeSpace();
-  void CollectOneBlock();
-  void CollectUserBlock(BlockId victim);
-  void CollectMetadataBlock(BlockId victim);
+  // --- Resumable GC state machine ---------------------------------------
+  // One collection = select victim + query store (kIdle step) -> migrate
+  // up to K live pages per step (kMigrate) -> flush grouped invalidation
+  // reports (kFlush) -> erase record + physical erase atomically (kErase).
+  // The cursor is RAM-only: a crash at any step boundary abandons the
+  // collection, and recovery treats the half-migrated victim like any
+  // other block (migrated copies are ordinary out-of-place writes; stale
+  // victim copies are caught by the last_recovery_seq_ validation below).
+
+  struct GcCursor {
+    GcPhase phase = GcPhase::kIdle;
+    BlockId victim = kInvalidU32;
+    PageType type = PageType::kUser;
+    /// Store snapshot from the collection's single GC query (user blocks).
+    Bitmap invalid;
+    /// Next page offset of the victim to examine.
+    uint32_t next_page = 0;
+  };
+
+  /// Starts a collection of `victim`: counts it, snapshots the validity
+  /// bitmap (user blocks), and arms the fresh-invalidation mirror.
+  void StartCollection(BlockId victim);
+  /// Migrates up to `max_migrations` live pages, advancing the cursor;
+  /// transitions to kFlush when the victim is fully examined.
+  uint32_t MigrateUserPages(uint32_t max_migrations);
+  uint32_t MigrateMetadataPages(uint32_t max_migrations);
+  /// kErase: records the erase in the validity store and erases the
+  /// victim, in one crash-atomic step.
+  void FinishCollection();
+  /// Runs the state machine until the current collection completes,
+  /// starting one on `forced_victim` first if the cursor is idle (used by
+  /// wear leveling to collect a specific block).
+  void RunCollectionToCompletion(BlockId forced_victim);
+  /// Victim selection through the pluggable policy object.
   BlockId SelectVictim();
 
   /// Erases `block` through the device, dropping stale translation images
@@ -184,10 +233,9 @@ class BaseFtl : public Ftl {
   /// page, evicting as needed. `uip` follows Section 4.1's rules.
   void UpsertCacheEntry(Lpn lpn, PhysicalAddress ppa, bool uip);
 
-  /// Counts a cache insert-or-update and takes a checkpoint when the
-  /// period elapses (Section 4.3).
+  /// Counts a cache insert-or-update; the scheduler owns the checkpoint
+  /// cadence (Section 4.3) and decides when TakeCheckpoint runs.
   void NoteCacheOp();
-  void TakeCheckpoint();
   void EnforceDirtyCap();
 
   /// Common recovery steps.
@@ -215,6 +263,9 @@ class BaseFtl : public Ftl {
   TranslationTable translation_;
   MappingCache cache_;
   std::unique_ptr<WearLeveler> wear_;
+  std::unique_ptr<GcVictimPolicy> victim_policy_;
+  /// Resumable-GC cursor (RAM-only; dies with a crash).
+  GcCursor gc_;
   /// BVC: identified-invalid pages per block (user blocks only).
   std::vector<uint32_t> bvc_;
   /// While a user block is being collected, invalidation reports can still
@@ -233,8 +284,7 @@ class BaseFtl : public Ftl {
   /// crash-free operation pays nothing (DESIGN.md §3).
   uint64_t last_recovery_seq_ = 0;
   FtlCounters counters_;
-  uint64_t cache_ops_since_checkpoint_ = 0;
-  bool in_gc_ = false;  // guards re-entrant GC
+  bool in_gc_ = false;  // guards re-entrant GC step execution
   /// While true (inside batched request servicing), ReportInvalid collects
   /// store records into pending_invalid_ instead of forwarding them one by
   /// one; FlushPendingInvalid submits the batch.
@@ -246,6 +296,9 @@ class BaseFtl : public Ftl {
   /// Saved Blocks Information Directory from the current recovery pass
   /// (block type + first-write seq), used by store-specific steps.
   std::vector<BlockManager::BidEntry> last_bid_;
+  /// The maintenance plane: decides when GC steps, checkpoints, wear
+  /// scans, and idle flushes run. Declared last; it only stores pointers.
+  MaintenanceScheduler scheduler_;
 };
 
 }  // namespace gecko

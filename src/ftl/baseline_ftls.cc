@@ -14,6 +14,7 @@ FtlConfig DftlFtl::DefaultConfig(uint32_t cache_capacity) {
   c.checkpoint_period = 0;
   c.gc_policy = GcPolicy::kGreedyAll;
   c.invalidation = InvalidationMode::kImmediate;
+  c.EnableMaintenanceLadder();
   return c;
 }
 
@@ -62,6 +63,7 @@ FtlConfig LazyFtl::DefaultConfig(uint32_t cache_capacity) {
   if (c.checkpoint_period == 0) c.checkpoint_period = 1;
   c.gc_policy = GcPolicy::kGreedyAll;
   c.invalidation = InvalidationMode::kImmediate;
+  c.EnableMaintenanceLadder();
   return c;
 }
 
@@ -134,6 +136,7 @@ FtlConfig MuFtl::DefaultConfig(uint32_t cache_capacity) {
   c.checkpoint_period = 0;
   c.gc_policy = GcPolicy::kGreedyAll;
   c.invalidation = InvalidationMode::kImmediate;
+  c.EnableMaintenanceLadder();
   return c;
 }
 
@@ -196,6 +199,7 @@ FtlConfig IbFtl::DefaultConfig(uint32_t cache_capacity) {
   // The log buffer can lose records across power failure, so GC validates
   // uncached victim pages against the translation table (DESIGN.md §3).
   c.gc_validate_against_translation_table = true;
+  c.EnableMaintenanceLadder();
   return c;
 }
 

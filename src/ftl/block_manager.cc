@@ -61,6 +61,7 @@ PhysicalAddress BlockManager::AllocatePage(PageType type, uint32_t stream) {
     GECKO_CHECK_GT(free_pool_.size(), 0u)
         << "device out of free blocks; GC must run before allocation";
     BlockId block = free_pool_.Take(slot);
+    if (free_pool_.size() < free_pool_low_) free_pool_low_ = free_pool_.size();
 #ifdef GECKO_DEBUG_GC_GROUND_TRUTH
     GECKO_CHECK(block_type_[block] == PageType::kFree)
         << "allocating non-free block " << block << " (type "

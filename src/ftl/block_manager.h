@@ -61,6 +61,13 @@ class BlockManager : public PageAllocator {
   bool IsActive(BlockId block) const;
   bool IsPinned(BlockId block) const { return pinned_.count(block) > 0; }
   uint32_t NumFreeBlocks() const { return free_pool_.size(); }
+  /// Smallest the free pool has ever been right after a block was taken.
+  /// Lifetime, including allocations made while recovery itself runs —
+  /// tests that want a windowed view call ResetFreePoolLowWatermark()
+  /// (e.g. after CrashAndRecover). The watermark tests use this to prove
+  /// the maintenance plane never lets the pool hit zero.
+  uint32_t FreePoolLowWatermark() const { return free_pool_low_; }
+  void ResetFreePoolLowWatermark() { free_pool_low_ = ~0u; }
   /// Free blocks currently pooled on channel `c`.
   uint32_t NumFreeBlocksOnChannel(ChannelId c) const {
     return free_pool_.size_on(c);
@@ -129,6 +136,7 @@ class BlockManager : public PageAllocator {
   bool compact_mode_ = false;
   std::map<BlockId, uint64_t> pinned_;  // block -> pin sequence
   uint64_t metadata_blocks_erased_ = 0;
+  uint32_t free_pool_low_ = ~0u;
 };
 
 }  // namespace gecko

@@ -35,6 +35,7 @@ struct FtlCounters {
   uint64_t checkpoints = 0;       // runtime checkpoints taken (Section 4.3)
   uint64_t gc_collections = 0;    // blocks collected by GC
   uint64_t gc_migrations = 0;     // live pages moved by GC
+  uint64_t gc_force_skips = 0;    // ForceGc calls refused (GC re-entrancy)
   uint64_t uip_detections = 0;    // invalid pages caught by the GC UIP check
   uint64_t cache_hits = 0;        // mapping-cache hits
   uint64_t cache_misses = 0;      // mapping-cache misses
@@ -106,8 +107,19 @@ class Ftl {
   /// Integrated-RAM footprint of all RAM-resident structures, in bytes.
   virtual uint64_t RamBytes() const = 0;
 
-  /// Forces one garbage-collection cycle (tests and benchmarks).
-  virtual void ForceGc() = 0;
+  /// Forces one full garbage-collection cycle (tests and benchmarks),
+  /// resuming a mid-flight incremental collection if one exists. Returns
+  /// false — and counts a gc_force_skips — when the request was refused
+  /// because GC was already executing (re-entrant call); callers that
+  /// depend on a collection having happened must check the result.
+  virtual bool ForceGc() = 0;
+
+  /// One background-maintenance tick: the host is idle, so the FTL may run
+  /// bounded incremental GC steps, flush volatile metadata, and do other
+  /// housekeeping (ftl/maintenance_scheduler.h). Returns the number of GC
+  /// steps executed (0 = nothing needed doing). Simulation drivers call
+  /// this during the idle phases of a bursty workload.
+  virtual uint64_t IdleTick() { return 0; }
 
   /// Logical-operation counters (flash IO lives in the device's IoStats).
   virtual const FtlCounters& counters() const = 0;

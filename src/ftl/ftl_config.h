@@ -10,7 +10,8 @@
 
 namespace gecko {
 
-/// Garbage-collection victim-selection policy (Section 4.2).
+/// Garbage-collection victim-selection policy (Section 4.2). Each value
+/// maps to a pluggable GcVictimPolicy object (ftl/gc_victim_policy.h).
 enum class GcPolicy : uint8_t {
   /// Classic greedy: any block (including metadata blocks) with the fewest
   /// valid pages may be chosen; valid metadata pages are migrated.
@@ -19,6 +20,9 @@ enum class GcPolicy : uint8_t {
   /// only once every page is invalid (frequently-updated metadata
   /// invalidates itself soon anyway).
   kNeverCollectMetadata,
+  /// Cost-benefit scoring ((1-u)/(1+u) * age) over user blocks, keeping
+  /// the paper's never-collect-metadata rule for metadata blocks.
+  kCostBenefit,
 };
 
 /// How the FTL learns the address of the before-image a write invalidates.
@@ -29,6 +33,48 @@ enum class InvalidationMode : uint8_t {
   /// GeckoFTL: set the UIP flag and identify the before-image lazily
   /// during synchronization operations and GC (Section 4.1).
   kLazyUip,
+};
+
+/// Tuning of the maintenance scheduler (ftl/maintenance_scheduler.h).
+///
+/// The free pool is governed by three levels:
+///
+///   soft watermark  >  hard watermark  >=  emergency floor
+///
+/// Above the soft watermark the plane is quiescent. Below it, background
+/// ticks (host-idle time) run bounded GC steps. Below the hard watermark,
+/// user writes additionally pay bounded GC steps through write-credit
+/// throttling — incremental work proportional to the deficit, instead of
+/// a stop-the-world whole-block collection. The emergency floor
+/// (FtlConfig::gc_free_block_threshold) keeps the legacy run-to-completion
+/// behaviour as the backstop that makes pool exhaustion impossible.
+struct MaintenanceConfig {
+  /// Enables the incremental state machine on the write path. When false
+  /// every collection is the legacy inline stop-the-world loop.
+  bool incremental = true;
+
+  /// Foreground throttling engages below this pool size. 0 derives the
+  /// emergency floor itself, leaving the throttle band empty (legacy
+  /// write-path behaviour).
+  uint32_t hard_watermark = 0;
+
+  /// Background collection (IdleTick) engages below this pool size.
+  /// 0 derives hard watermark + 4.
+  uint32_t soft_watermark = 0;
+
+  /// Live-page migrations one GC step performs at most.
+  uint32_t migrations_per_step = 8;
+
+  /// GC steps one background tick runs at most.
+  uint32_t steps_per_tick = 4;
+
+  /// Write-credit throttling: credits earned per unit of pool deficit on
+  /// each throttled write; one GC step costs one credit.
+  double credits_per_deficit = 1.0;
+
+  /// Background ticks between volatile-metadata flushes (the Gecko buffer
+  /// hook). 0 disables idle-driven flushing.
+  uint32_t idle_flush_period = 0;
 };
 
 struct FtlConfig {
@@ -52,8 +98,20 @@ struct FtlConfig {
   GcPolicy gc_policy = GcPolicy::kNeverCollectMetadata;
   InvalidationMode invalidation = InvalidationMode::kLazyUip;
 
-  /// GC starts when the free-block pool drops below this many blocks.
+  /// Emergency floor: when the free-block pool drops below this many
+  /// blocks, collection runs to completion inline before the write
+  /// proceeds (the stop-the-world backstop; the watermarks below keep the
+  /// pool away from it).
   uint32_t gc_free_block_threshold = 5;
+
+  /// Maintenance plane (ftl/maintenance_scheduler.h): watermarks and step
+  /// budgets for incremental background/throttled-foreground collection.
+  /// The raw defaults leave the throttle band empty — the classic
+  /// inline-GC write path exactly — while a derived soft watermark of
+  /// floor + 4 lets hosts that do call Ftl::IdleTick() get modest
+  /// background collection; hosts that never tick see no change. The
+  /// five DefaultConfigs enable the full ladder (EnableMaintenanceLadder).
+  MaintenanceConfig maintenance;
 
   /// Whether GC validates not-in-cache victim pages against the flash
   /// translation table (needed by IB-FTL, whose log buffer can lose
@@ -77,6 +135,17 @@ struct FtlConfig {
 
   /// Logarithmic Gecko tuning (GeckoFTL only).
   LogGeckoConfig gecko;
+
+  /// Enables the full maintenance ladder with default margins: write-credit
+  /// throttled foreground GC below floor + 3 free blocks, background
+  /// (idle-tick) collection below floor + 7. All five DefaultConfigs call
+  /// this; set maintenance.hard_watermark = gc_free_block_threshold (or 0)
+  /// to fall back to pure stop-the-world foreground GC.
+  void EnableMaintenanceLadder() {
+    maintenance.incremental = true;
+    maintenance.hard_watermark = gc_free_block_threshold + 3;
+    maintenance.soft_watermark = maintenance.hard_watermark + 4;
+  }
 
   uint32_t DirtyCap() const {
     if (dirty_fraction_cap <= 0.0) return 0;

@@ -1,0 +1,19 @@
+#include "ftl/gc_victim_policy.h"
+
+#include "util/check.h"
+
+namespace gecko {
+
+std::unique_ptr<GcVictimPolicy> MakeGcVictimPolicy(GcPolicy policy) {
+  switch (policy) {
+    case GcPolicy::kGreedyAll:
+    case GcPolicy::kNeverCollectMetadata:
+      return std::make_unique<GreedyVictimPolicy>();
+    case GcPolicy::kCostBenefit:
+      return std::make_unique<CostBenefitVictimPolicy>();
+  }
+  GECKO_CHECK(false) << "unknown GcPolicy";
+  return nullptr;
+}
+
+}  // namespace gecko

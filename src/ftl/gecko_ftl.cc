@@ -10,6 +10,7 @@ FtlConfig GeckoFtl::DefaultConfig(uint32_t cache_capacity) {
   c.battery = false;
   c.gc_policy = GcPolicy::kNeverCollectMetadata;
   c.invalidation = InvalidationMode::kLazyUip;
+  c.EnableMaintenanceLadder();
   return c;
 }
 

@@ -1,5 +1,6 @@
 #include "sim/ftl_experiment.h"
 
+#include "flash/latency_histogram.h"
 #include "util/check.h"
 
 namespace gecko {
@@ -31,11 +32,69 @@ ChannelReport FtlExperiment::Channels(const FlashDevice& device) {
   ChannelReport report;
   report.utilization = stats.ChannelUtilizations();
   report.ops.reserve(stats.num_channels());
+  report.idle_us.reserve(stats.num_channels());
   for (uint32_t c = 0; c < stats.num_channels(); ++c) {
     report.ops.push_back(stats.ChannelOps(c));
+    report.idle_us.push_back(device.ChannelIdleUs(c));
   }
   report.max_queue_depth = stats.max_queue_depth();
   report.elapsed_us = stats.elapsed_us();
+  return report;
+}
+
+LatencyReport FtlExperiment::MeasureGcLatency(Ftl& ftl, FlashDevice& device,
+                                              BurstyRequestStream& stream,
+                                              uint64_t warm_extents,
+                                              uint64_t measure_extents,
+                                              bool tick_idle) {
+  LatencyHistogram hist;
+  uint64_t background_steps = 0;
+  auto run = [&](uint64_t target_extents, bool record) {
+    while (stream.ops_emitted() < target_extents) {
+      BurstyRequestStream::Slot slot = stream.Next();
+      if (slot.idle) {
+        // Host-idle slot: the incremental configuration hands it to the
+        // maintenance scheduler; the foreground-only baseline wastes it.
+        if (tick_idle) background_steps += ftl.IdleTick();
+        continue;
+      }
+      double before_us = device.stats().elapsed_us();
+      IoResult result;
+      Status s = ftl.Submit(slot.request, &result);
+      GECKO_CHECK(s.ok()) << s.ToString();
+      for (const Status& es : result.extent_status) {
+        // Trims of never-written pages are fine; everything else lands.
+        GECKO_CHECK(es.ok() || es.code() == StatusCode::kNotFound)
+            << es.ToString();
+      }
+      // The request's end-to-end latency is its batch window's makespan —
+      // including any foreground GC steps it had to pay for.
+      if (record && slot.request.op == IoOp::kWrite) {
+        hist.Record(device.stats().elapsed_us() - before_us);
+      }
+    }
+  };
+  run(warm_extents, /*record=*/false);
+
+  uint64_t extents_before = stream.ops_emitted();
+  double elapsed_before = device.stats().elapsed_us();
+  uint64_t bg_before = background_steps;
+  run(warm_extents + measure_extents, /*record=*/true);
+
+  LatencyReport report;
+  report.p50_us = hist.P50();
+  report.p95_us = hist.P95();
+  report.p99_us = hist.P99();
+  report.max_us = hist.MaxUs();
+  report.mean_us = hist.MeanUs();
+  report.requests = hist.count();
+  report.extents = stream.ops_emitted() - extents_before;
+  report.elapsed_us = device.stats().elapsed_us() - elapsed_before;
+  report.throughput_kops =
+      report.elapsed_us > 0
+          ? static_cast<double>(report.extents) / (report.elapsed_us / 1000.0)
+          : 0;
+  report.background_steps = background_steps - bg_before;
   return report;
 }
 

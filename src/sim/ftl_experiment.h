@@ -11,6 +11,7 @@
 
 #include "flash/flash_device.h"
 #include "ftl/ftl.h"
+#include "workload/bursty_stream.h"
 #include "workload/request_stream.h"
 #include "workload/workload.h"
 
@@ -29,6 +30,7 @@ struct WaBreakdown {
 struct ChannelReport {
   std::vector<double> utilization;  // busy / elapsed per channel, in [0,1]
   std::vector<uint64_t> ops;        // flash ops serviced per channel
+  std::vector<double> idle_us;      // inter-op idle time per channel
   uint32_t max_queue_depth = 0;     // deepest any channel queue got
   double elapsed_us = 0;            // simulated (channel-overlapped) time
 
@@ -38,6 +40,22 @@ struct ChannelReport {
     for (double u : utilization) sum += u;
     return sum / static_cast<double>(utilization.size());
   }
+};
+
+/// Tail-latency view of one bursty run: the user-write request latency
+/// distribution plus the throughput the run sustained (both in simulated
+/// time, which includes background-maintenance windows).
+struct LatencyReport {
+  double p50_us = 0;
+  double p95_us = 0;
+  double p99_us = 0;
+  double max_us = 0;
+  double mean_us = 0;
+  uint64_t requests = 0;       // write requests measured
+  uint64_t extents = 0;        // write/trim extents measured
+  double elapsed_us = 0;       // simulated time of the measurement window
+  double throughput_kops = 0;  // extents per simulated millisecond
+  uint64_t background_steps = 0;  // GC steps the idle ticks ran
 };
 
 class FtlExperiment {
@@ -66,6 +84,19 @@ class FtlExperiment {
   /// Snapshot of the device's per-channel accounting (utilization, op
   /// spread, queue depth) for channel-scaling experiments.
   static ChannelReport Channels(const FlashDevice& device);
+
+  /// Tail-latency measurement loop: drives `stream` (bursts + idle
+  /// phases), warming with ~`warm_extents` write/trim extents and then
+  /// measuring ~`measure_extents` more. During idle slots the loop ticks
+  /// the FTL's maintenance scheduler (`Ftl::IdleTick`) when `tick_idle`
+  /// is set — the incremental-GC configuration — or skips them (the
+  /// foreground-only baseline). Returns the user-write latency
+  /// distribution over the measurement window.
+  static LatencyReport MeasureGcLatency(Ftl& ftl, FlashDevice& device,
+                                        BurstyRequestStream& stream,
+                                        uint64_t warm_extents,
+                                        uint64_t measure_extents,
+                                        bool tick_idle);
 
   /// Deterministic content token for (lpn, version) — used by tests to
   /// verify end-to-end data integrity.

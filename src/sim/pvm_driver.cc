@@ -128,17 +128,22 @@ void PvmDriver::EnsureFreeBlocks() {
 
 void PvmDriver::CollectOne() {
   const uint32_t pages_per_block = device_->geometry().pages_per_block;
-  // Greedy victim: most invalid pages among full, non-active blocks.
-  BlockId victim = kInvalidU32;
-  uint32_t best = 0;
-  for (BlockId b = 0; b < user_blocks_; ++b) {
-    if (IsActiveBlock(b)) continue;
-    if (device_->PagesWritten(b) < pages_per_block) continue;
-    if (invalid_count_[b] >= best && invalid_count_[b] > 0) {
-      best = invalid_count_[b];
-      victim = b;
-    }
-  }
+  // Victim selection through the shared policy scan (greedy: fewest valid
+  // pages == most invalid pages on full blocks), restricted to full,
+  // non-active, reclaimable blocks — the same helper the FTLs use, so the
+  // microbenchmark's GC cannot drift from theirs.
+  BlockId victim = SelectGcVictim(
+      user_blocks_, victim_policy_, [&](BlockId b, GcVictimCandidate* c) {
+        if (IsActiveBlock(b)) return false;
+        if (device_->PagesWritten(b) < pages_per_block) return false;
+        if (invalid_count_[b] == 0) return false;
+        c->valid = pages_per_block - invalid_count_[b];
+        c->written = pages_per_block;
+        c->pages_per_block = pages_per_block;
+        c->channel_busy_until_us =
+            device_->ChannelBusyUntilUs(device_->ChannelOf(b));
+        return true;
+      });
   GECKO_CHECK_NE(victim, kInvalidU32) << "PvmDriver: no reclaimable block";
   ++gc_operations_;
 

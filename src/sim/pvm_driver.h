@@ -20,6 +20,7 @@
 
 #include "flash/flash_device.h"
 #include "flash/striped_free_pool.h"
+#include "ftl/gc_victim_policy.h"
 #include "pvm/page_validity_store.h"
 #include "workload/workload.h"
 
@@ -75,6 +76,8 @@ class PvmDriver {
   FlashDevice* device_;
   PageValidityStore* store_;
   uint32_t user_blocks_;
+  /// Shared victim-selection policy (same scan as BaseFtl's GC).
+  GreedyVictimPolicy victim_policy_;
   uint64_t num_lpns_;
   std::vector<PhysicalAddress> mapping_;     // lpn -> ppa (driver RAM)
   std::vector<Lpn> reverse_;                 // flat ppa -> lpn

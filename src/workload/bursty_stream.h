@@ -1,0 +1,77 @@
+// Bursty host model: request bursts separated by idle phases.
+//
+// Real hosts do not saturate a device continuously — traffic arrives in
+// bursts (a commit, a compaction, a page-cache writeback) separated by
+// idle windows. Those windows are exactly what a background maintenance
+// scheduler exploits: GC steps run while the host is quiet, so the bursts
+// never pay for whole-block collections inline. This stream alternates
+// `burst_requests` requests from a wrapped RequestStream with
+// `idle_slots` idle slots; the simulation driver submits requests for the
+// former and calls Ftl::IdleTick() for the latter.
+
+#ifndef GECKOFTL_WORKLOAD_BURSTY_STREAM_H_
+#define GECKOFTL_WORKLOAD_BURSTY_STREAM_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+#include "workload/request_stream.h"
+
+namespace gecko {
+
+class BurstyRequestStream {
+ public:
+  struct Options {
+    /// Requests per burst (each carrying stream.batch_size extents).
+    uint32_t burst_requests = 16;
+    /// Idle slots between bursts (each maps to one Ftl::IdleTick()).
+    /// 0 = a continuously saturated host.
+    uint32_t idle_slots = 8;
+    RequestStream::Options stream;
+  };
+
+  /// One emitted slot: either a request to submit or an idle slot.
+  struct Slot {
+    bool idle = false;
+    IoRequest request;
+  };
+
+  BurstyRequestStream(Workload* workload, const Options& options)
+      : options_(options), stream_(workload, options.stream) {
+    GECKO_CHECK_GT(options.burst_requests, 0u);
+  }
+
+  Slot Next() {
+    Slot slot;
+    if (in_burst_ < options_.burst_requests) {
+      ++in_burst_;
+      slot.request = stream_.Next();
+      return slot;
+    }
+    if (in_idle_ < options_.idle_slots) {
+      ++in_idle_;
+      slot.idle = true;
+      ++idle_slots_emitted_;
+      return slot;
+    }
+    in_burst_ = 0;
+    in_idle_ = 0;
+    return Next();
+  }
+
+  /// Write/trim extents emitted so far (from the wrapped stream).
+  uint64_t ops_emitted() const { return stream_.ops_emitted(); }
+  uint64_t idle_slots_emitted() const { return idle_slots_emitted_; }
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  RequestStream stream_;
+  uint32_t in_burst_ = 0;
+  uint32_t in_idle_ = 0;
+  uint64_t idle_slots_emitted_ = 0;
+};
+
+}  // namespace gecko
+
+#endif  // GECKOFTL_WORKLOAD_BURSTY_STREAM_H_

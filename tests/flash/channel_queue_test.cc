@@ -101,6 +101,24 @@ TEST(ChannelQueueTest, IdleChannelDoesNotStretchMakespan) {
   EXPECT_DOUBLE_EQ(r.elapsed_us, lat.page_read_us);
 }
 
+TEST(ChannelQueueTest, IdleAccountingAccumulatesInterOpGaps) {
+  // Two ops on channel 0 separated by a long op on channel 1: when the
+  // second ch0 op arrives after the drain, ch0 has sat idle since its
+  // first op completed.
+  FlashDevice device(ChanneledGeometry(2));
+  const LatencyModel lat;
+  device.WritePage(PhysicalAddress{0, 0}, UserSpare(1), 1,
+                   IoPurpose::kUserWrite);
+  device.EraseBlock(1, IoPurpose::kOther);  // channel 1: clock advances
+  EXPECT_DOUBLE_EQ(device.ChannelIdleUs(0), 0.0);
+  device.WritePage(PhysicalAddress{0, 1}, UserSpare(2), 2,
+                   IoPurpose::kUserWrite);
+  // ch0 was quiet from the end of its first write until now: the erase's
+  // duration on ch1 (clock moved past ch0's busy-until by erase_us).
+  EXPECT_NEAR(device.ChannelIdleUs(0), lat.erase_us, 1e-9);
+  EXPECT_DOUBLE_EQ(device.ChannelIdleUs(1), lat.page_write_us);
+}
+
 TEST(ChannelQueueTest, QueueDepthWatermark) {
   ChannelArray channels(2, LatencyModel());
   channels.Submit(0, FlashOpKind::kPageRead, {0, 0}, IoPurpose::kUserRead,

@@ -84,5 +84,50 @@ TEST(IoStatsTest, ResetClearsEverything) {
   EXPECT_DOUBLE_EQ(stats.elapsed_us(), 0.0);
 }
 
+TEST(LatencyHistogramTest, PercentilesTrackRecordedSamples) {
+  LatencyHistogram h;
+  EXPECT_DOUBLE_EQ(h.P99(), 0.0);
+  for (int i = 0; i < 99; ++i) h.Record(1000.0);
+  h.Record(50000.0);  // one tail sample
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.MaxUs(), 50000.0);
+  // p50 lands in the 1000us bucket (geometric buckets, ~7% error).
+  EXPECT_NEAR(h.P50(), 1000.0, 100.0);
+  // p99 is the rank-99 sample: the tail.
+  EXPECT_NEAR(h.P99(), 50000.0, 4000.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 50000.0);
+}
+
+TEST(LatencyHistogramTest, MergeAndResetBehave) {
+  LatencyHistogram a, b;
+  a.Record(10.0);
+  b.Record(30.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.MaxUs(), 30.0);
+  EXPECT_NEAR(a.MeanUs(), 20.0, 1e-9);
+  a.Reset();
+  EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(IoStatsTest, RequestLatencyHistogramsSplitByClass) {
+  IoStats stats;
+  stats.OnRequestLatency(RequestClass::kWrite, 2000.0);
+  stats.OnRequestLatency(RequestClass::kWrite, 4000.0);
+  stats.OnRequestLatency(RequestClass::kMaintenance, 500.0);
+  EXPECT_EQ(stats.RequestLatency(RequestClass::kWrite).count(), 2u);
+  EXPECT_EQ(stats.RequestLatency(RequestClass::kMaintenance).count(), 1u);
+  EXPECT_EQ(stats.RequestLatency(RequestClass::kRead).count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.RequestLatency(RequestClass::kWrite).MaxUs(),
+                   4000.0);
+  stats.Reset();
+  EXPECT_EQ(stats.RequestLatency(RequestClass::kWrite).count(), 0u);
+}
+
+TEST(IoStatsTest, RequestClassNamesAreStable) {
+  EXPECT_STREQ(RequestClassName(RequestClass::kWrite), "write");
+  EXPECT_STREQ(RequestClassName(RequestClass::kMaintenance), "maintenance");
+}
+
 }  // namespace
 }  // namespace gecko

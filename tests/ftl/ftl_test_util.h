@@ -4,6 +4,7 @@
 #ifndef GECKOFTL_TESTS_FTL_FTL_TEST_UTIL_H_
 #define GECKOFTL_TESTS_FTL_FTL_TEST_UTIL_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <tuple>
@@ -61,31 +62,48 @@ inline std::string FtlChannelParamName(
                          ::testing::Values(1u, 4u)),                      \
       FtlChannelParamName)
 
+/// Config mutation applied on top of an FTL's DefaultConfig (watermark /
+/// maintenance overrides in the scheduler tests).
+using ConfigTweak = std::function<void(FtlConfig&)>;
+
+template <typename FtlT>
+std::unique_ptr<Ftl> MakeFtlWithTweak(FlashDevice* device,
+                                      uint32_t cache_capacity,
+                                      const ConfigTweak& tweak) {
+  FtlConfig config = FtlT::DefaultConfig(cache_capacity);
+  if (tweak) tweak(config);
+  return std::make_unique<FtlT>(device, config);
+}
+
+/// Builds any of the five FTLs by name, applying `tweak` to its default
+/// config first.
 inline std::unique_ptr<Ftl> MakeFtl(const std::string& name,
                                     FlashDevice* device,
-                                    uint32_t cache_capacity) {
+                                    uint32_t cache_capacity,
+                                    const ConfigTweak& tweak) {
   if (name == "GeckoFTL") {
-    return std::make_unique<GeckoFtl>(device,
-                                      GeckoFtl::DefaultConfig(cache_capacity));
+    return MakeFtlWithTweak<GeckoFtl>(device, cache_capacity, tweak);
   }
   if (name == "DFTL") {
-    return std::make_unique<DftlFtl>(device,
-                                     DftlFtl::DefaultConfig(cache_capacity));
+    return MakeFtlWithTweak<DftlFtl>(device, cache_capacity, tweak);
   }
   if (name == "LazyFTL") {
-    return std::make_unique<LazyFtl>(device,
-                                     LazyFtl::DefaultConfig(cache_capacity));
+    return MakeFtlWithTweak<LazyFtl>(device, cache_capacity, tweak);
   }
   if (name == "uFTL") {
-    return std::make_unique<MuFtl>(device,
-                                   MuFtl::DefaultConfig(cache_capacity));
+    return MakeFtlWithTweak<MuFtl>(device, cache_capacity, tweak);
   }
   if (name == "IB-FTL") {
-    return std::make_unique<IbFtl>(device,
-                                   IbFtl::DefaultConfig(cache_capacity));
+    return MakeFtlWithTweak<IbFtl>(device, cache_capacity, tweak);
   }
   ADD_FAILURE() << "unknown FTL " << name;
   return nullptr;
+}
+
+inline std::unique_ptr<Ftl> MakeFtl(const std::string& name,
+                                    FlashDevice* device,
+                                    uint32_t cache_capacity) {
+  return MakeFtl(name, device, cache_capacity, ConfigTweak());
 }
 
 /// Shadow-map harness: every write is mirrored into a host map; Verify()

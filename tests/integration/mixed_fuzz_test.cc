@@ -46,6 +46,60 @@ TEST_P(MixedFuzzTest, NoOperationSequenceLosesData) {
   shadow.VerifyAll();
 }
 
+// Free-pool watermark invariant: under a mixed load with background ticks
+// and throttled foreground GC, the pool must never hit zero — throttling
+// has to engage (and, under pressure, the emergency backstop) strictly
+// before exhaustion. Runs on 1- and 4-channel geometries: striping opens
+// one active block per channel per group, the worst case for transient
+// pool demand.
+class WatermarkFuzzTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(WatermarkFuzzTest, FreePoolNeverExhaustsAndThrottlingEngagesFirst) {
+  FlashDevice device(FtlTestGeometry(GetParam()));
+  auto ftl = MakeFtl("GeckoFTL", &device, 96, [](FtlConfig& c) {
+    c.maintenance.hard_watermark = c.gc_free_block_threshold + 3;
+    c.maintenance.soft_watermark = c.maintenance.hard_watermark + 4;
+    c.maintenance.migrations_per_step = 4;
+  });
+  auto* base = dynamic_cast<BaseFtl*>(ftl.get());
+  ASSERT_NE(base, nullptr);
+  ShadowHarness shadow(ftl.get(), device.geometry().NumLogicalPages());
+  for (Lpn lpn = 0; lpn < shadow.num_lpns(); ++lpn) shadow.Write(lpn);
+  base->block_manager().ResetFreePoolLowWatermark();
+
+  Rng rng(303);
+  ZipfWorkload zipf(shadow.num_lpns(), 0.8, 304);
+  for (int op = 0; op < 8000; ++op) {
+    uint32_t dice = static_cast<uint32_t>(rng.Uniform(1000));
+    if (dice < 750) {
+      shadow.Write(zipf.NextLpn());
+    } else if (dice < 900) {
+      ftl->IdleTick();
+    } else if (dice < 990) {
+      shadow.VerifySample(rng, 1);
+    } else {
+      ftl->CrashAndRecover();
+      base->block_manager().ResetFreePoolLowWatermark();
+    }
+    // The pool is never exhausted: every allocation left at least one
+    // free block behind it.
+    ASSERT_GE(base->block_manager().NumFreeBlocks(), 1u) << "at op " << op;
+  }
+  EXPECT_GE(base->block_manager().FreePoolLowWatermark(), 1u);
+  // Throttled foreground steps engaged inside the band — i.e. strictly
+  // before the pool could approach exhaustion.
+  const MaintenanceStats& stats = base->maintenance().stats();
+  EXPECT_GT(stats.throttle_engagements, 0u);
+  EXPECT_GT(stats.background_steps + stats.throttled_steps, 0u);
+  shadow.VerifyAll();
+}
+
+INSTANTIATE_TEST_SUITE_P(Channels, WatermarkFuzzTest,
+                         ::testing::Values(1u, 4u),
+                         [](const ::testing::TestParamInfo<uint32_t>& info) {
+                           return "ch" + std::to_string(info.param);
+                         });
+
 std::vector<FuzzParam> AllParams() {
   std::vector<FuzzParam> out;
   for (const char* name : {"GeckoFTL", "DFTL", "LazyFTL", "uFTL", "IB-FTL"}) {
