@@ -35,12 +35,16 @@ const RunImage& RunStorage::WriteRun(uint32_t level,
   image.live_snapshot = std::move(live_after);
   image.live_snapshot.push_back(image.id);
 
-  // Stream = the run's level: a run's pages stay contiguous in one stripe
+  // Stream = the run's id: a run's pages stay contiguous in one stripe
   // slot (the run is discarded wholesale, so its blocks free together),
-  // and short-lived L0 runs never share blocks with long-lived deep-level
-  // runs — the mixing that would leave every block one live page away
-  // from erasable under the never-collect-metadata policy.
-  const uint32_t stream = level;
+  // while *successive* runs rotate across slots — L0 flushes are the
+  // steady metadata write stream, and pinning every L0 run to the same
+  // slot (stream = level) would put all of them on one channel, a serial
+  // bottleneck once independent requests are in flight. Rotating by run
+  // id can mix runs of different levels in one block; the single-active-
+  // block configuration (1 channel) always did that, so the never-
+  // collect-metadata policy already tolerates it.
+  const uint32_t stream = static_cast<uint32_t>(image.id);
 
   // Preamble: run id + level + live-run snapshot. The payload token is the
   // run id; level rides in the spare's aux low bits would collide with the
@@ -124,8 +128,8 @@ bool RunStorage::RelocatePage(PhysicalAddress addr) {
     spare.key = static_cast<uint32_t>(id);
     auto move_page = [&](PhysicalAddress* slot, uint32_t aux) {
       device_->ReadPage(*slot, IoPurpose::kPvm);
-      PhysicalAddress fresh =
-          allocator_->AllocatePage(PageType::kPvm, image.level);
+      PhysicalAddress fresh = allocator_->AllocatePage(
+          PageType::kPvm, static_cast<uint32_t>(image.id));
       spare.aux = aux;
       device_->WritePage(fresh, spare, id, IoPurpose::kPvm);
       allocator_->OnMetadataPageInvalidated(*slot);

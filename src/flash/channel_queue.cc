@@ -64,6 +64,15 @@ void ChannelQueue::TakePending(std::vector<Pending>* out) {
   pending_.clear();
 }
 
+void ChannelQueue::TakeCompletedUntil(double until_us,
+                                      std::vector<Pending>* out) {
+  while (!pending_.empty() &&
+         pending_.front().submission.complete_us <= until_us) {
+    out->push_back(std::move(pending_.front()));
+    pending_.pop_front();
+  }
+}
+
 ChannelArray::ChannelArray(uint32_t num_channels, LatencyModel latency) {
   GECKO_CHECK_GE(num_channels, 1u);
   channels_.reserve(num_channels);
@@ -94,6 +103,21 @@ FlashSubmission ChannelArray::SubmitImmediate(ChannelId c, FlashOpKind kind,
   return sub;
 }
 
+namespace {
+// Retirement order: global completion time; ties (e.g. equal-latency ops
+// started together on different channels) break by submission id so the
+// order is deterministic.
+void SortByCompletion(std::vector<ChannelQueue::Pending>* pending) {
+  std::sort(pending->begin(), pending->end(),
+            [](const ChannelQueue::Pending& a, const ChannelQueue::Pending& b) {
+              if (a.submission.complete_us != b.submission.complete_us) {
+                return a.submission.complete_us < b.submission.complete_us;
+              }
+              return a.submission.id < b.submission.id;
+            });
+}
+}  // namespace
+
 ChannelArray::DrainResult ChannelArray::Drain(
     std::vector<FlashSubmission>* completed) {
   std::vector<ChannelQueue::Pending> pending;
@@ -104,20 +128,30 @@ ChannelArray::DrainResult ChannelArray::Drain(
   max_depth_since_drain_ = 0;
   if (pending.empty()) return result;
 
-  // Retire in global completion-time order; ties (e.g. equal-latency ops
-  // started together on different channels) break by submission id so the
-  // order is deterministic.
-  std::sort(pending.begin(), pending.end(),
-            [](const ChannelQueue::Pending& a, const ChannelQueue::Pending& b) {
-              if (a.submission.complete_us != b.submission.complete_us) {
-                return a.submission.complete_us < b.submission.complete_us;
-              }
-              return a.submission.id < b.submission.id;
-            });
+  SortByCompletion(&pending);
 
   double finish = now_us_;
   for (ChannelQueue::Pending& p : pending) {
     finish = std::max(finish, p.submission.complete_us);
+    if (p.on_complete) p.on_complete(p.submission);
+    if (completed != nullptr) completed->push_back(p.submission);
+    ++result.ops;
+  }
+  result.elapsed_us = finish - now_us_;
+  now_us_ = finish;
+  return result;
+}
+
+ChannelArray::DrainResult ChannelArray::DrainUntil(
+    double until_us, std::vector<FlashSubmission>* completed) {
+  std::vector<ChannelQueue::Pending> due;
+  for (ChannelQueue& ch : channels_) ch.TakeCompletedUntil(until_us, &due);
+  SortByCompletion(&due);
+
+  DrainResult result;
+  result.max_queue_depth = max_depth_since_drain_;  // still accumulating
+  double finish = std::max(now_us_, until_us);
+  for (ChannelQueue::Pending& p : due) {
     if (p.on_complete) p.on_complete(p.submission);
     if (completed != nullptr) completed->push_back(p.submission);
     ++result.ops;

@@ -117,6 +117,12 @@ class ChannelQueue {
   /// callbacks in global completion order.
   void TakePending(std::vector<Pending>* out);
 
+  /// Moves the parked submissions that complete at or before `until_us`
+  /// into `*out`, leaving later ones queued. Valid because the queue is
+  /// FIFO behind one busy-until clock: complete times are nondecreasing
+  /// in queue order, so the due prefix is exactly the front of the deque.
+  void TakeCompletedUntil(double until_us, std::vector<Pending>* out);
+
  private:
   ChannelId id_;
   LatencyModel latency_;
@@ -178,6 +184,15 @@ class ChannelArray {
   /// last one. `completed`, if non-null, receives the retired records in
   /// the same order. Draining an empty pipeline is a no-op.
   DrainResult Drain(std::vector<FlashSubmission>* completed = nullptr);
+
+  /// Partial drain for reactor-style hosts: retires only the submissions
+  /// that complete at or before `until_us` (global completion-time order)
+  /// and advances the clock to max(now, until_us) — never backwards, and
+  /// not past `until_us` even if later ops are still parked. Unlike
+  /// Drain(), the per-batch depth watermark is left accumulating: the
+  /// "batch" is still open from the pipeline's point of view.
+  DrainResult DrainUntil(double until_us,
+                         std::vector<FlashSubmission>* completed = nullptr);
 
  private:
   std::vector<ChannelQueue> channels_;

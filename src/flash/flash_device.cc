@@ -43,6 +43,41 @@ FlashDevice::BatchResult FlashDevice::DrainChannels() {
   return result;
 }
 
+FlashDevice::BatchResult FlashDevice::AdvanceTo(double until_us) {
+  std::vector<FlashSubmission> completed;
+  ChannelArray::DrainResult drained = channels_.DrainUntil(until_us,
+                                                           &completed);
+  for (const FlashSubmission& sub : completed) {
+    stats_.OnChannelComplete(sub.channel, sub.ServiceUs());
+  }
+  stats_.AdvanceElapsed(drained.elapsed_us);
+  BatchResult result;
+  result.elapsed_us = drained.elapsed_us;
+  result.ops = drained.ops;
+  result.max_queue_depth = drained.max_queue_depth;
+  return result;
+}
+
+void FlashDevice::BeginOpScope() {
+  GECKO_CHECK(!op_scope_open_) << "op scopes do not nest";
+  op_scope_open_ = true;
+  op_scope_ = OpScope{};
+}
+
+FlashDevice::OpScope FlashDevice::EndOpScope() {
+  GECKO_CHECK(op_scope_open_) << "EndOpScope without BeginOpScope";
+  op_scope_open_ = false;
+  return op_scope_;
+}
+
+void FlashDevice::NoteScopedOp(const FlashSubmission& sub) {
+  if (!op_scope_open_) return;
+  ++op_scope_.ops;
+  if (sub.complete_us > op_scope_.last_complete_us) {
+    op_scope_.last_complete_us = sub.complete_us;
+  }
+}
+
 void FlashDevice::SubmitOp(FlashOpKind kind, PhysicalAddress addr,
                            IoPurpose purpose, FlashCompletion on_complete) {
   ChannelId channel = ChannelOf(addr.block);
@@ -55,10 +90,12 @@ void FlashDevice::SubmitOp(FlashOpKind kind, PhysicalAddress addr,
         channels_.SubmitImmediate(channel, kind, addr, purpose);
     stats_.OnChannelComplete(channel, sub.ServiceUs());
     stats_.AdvanceElapsed(channels_.now_us() - before);
+    NoteScopedOp(sub);
     if (on_complete) on_complete(sub);
     return;
   }
-  channels_.Submit(channel, kind, addr, purpose, std::move(on_complete));
+  NoteScopedOp(
+      channels_.Submit(channel, kind, addr, purpose, std::move(on_complete)));
 }
 
 uint64_t FlashDevice::WritePage(PhysicalAddress addr, SpareArea spare,

@@ -111,6 +111,29 @@ class FlashDevice {
   /// Whether a batch window is open.
   bool in_batch() const { return batch_depth_ > 0; }
 
+  /// Reactor tick: retires every queued op that completes at or before
+  /// `until_us` (completion-time order, callbacks fire, stats update) and
+  /// advances the clock to max(now, until_us), leaving later ops queued.
+  /// Unlike EndBatch(), the batch window — if any — stays open; the async
+  /// engine uses this to let time pass while requests are still in
+  /// flight. A no-op on the clock when `until_us` is in the past.
+  BatchResult AdvanceTo(double until_us);
+
+  // --- Op attribution scope ----------------------------------------------
+  // The async engine services one request at a time through the
+  // synchronous FTL code, inside a long-lived batch window. To learn when
+  // *that request* completes on the simulated device, it brackets the
+  // servicing in an op scope: every op submitted inside the scope updates
+  // the scope's op count and latest completion time. Scopes do not nest.
+
+  struct OpScope {
+    uint64_t ops = 0;             // flash ops submitted inside the scope
+    double last_complete_us = 0;  // completion time of the latest one
+  };
+
+  void BeginOpScope();
+  OpScope EndOpScope();
+
   /// Simulated device clock in microseconds (mirrors stats().elapsed_us()
   /// up to stats Reset()).
   double now_us() const { return channels_.now_us(); }
@@ -215,6 +238,9 @@ class FlashDevice {
   /// clock advance) and fires completion callbacks.
   BatchResult DrainChannels();
 
+  /// Feeds one stamped submission into the open op scope, if any.
+  void NoteScopedOp(const FlashSubmission& sub);
+
   Geometry geometry_;
   IoStats stats_;
   ChannelArray channels_;
@@ -223,6 +249,8 @@ class FlashDevice {
   uint64_t next_seq_ = 1;
   uint64_t global_erase_count_ = 0;
   uint32_t batch_depth_ = 0;
+  bool op_scope_open_ = false;
+  OpScope op_scope_;
 };
 
 }  // namespace gecko

@@ -146,6 +146,33 @@ class IoStats {
   /// Advances the simulated clock by one drained batch's makespan.
   void AdvanceElapsed(double us) { elapsed_us_ += us; }
 
+  // --- Host submission-queue accounting (fed by the FTL's async engine) --
+  // Distinct from the per-channel depths above: this gauge counts whole
+  // host *requests* admitted and not yet completed (parked on a dependency
+  // or executing), i.e. the queue depth the host actually achieved.
+
+  /// A request was admitted into the host submission queue.
+  void OnHostAdmit() {
+    ++host_admissions_;
+    uint32_t depth = ++host_inflight_;
+    if (depth > host_inflight_watermark_) host_inflight_watermark_ = depth;
+  }
+  /// An in-flight request completed (or was aborted by a power failure).
+  void OnHostComplete() {
+    if (host_inflight_ > 0) --host_inflight_;
+  }
+  /// An admission was refused because the queue was at its in-flight cap.
+  void OnHostQueueFull() { ++host_queue_full_; }
+
+  /// Requests currently in flight (admitted, not yet completed).
+  uint32_t host_inflight() const { return host_inflight_; }
+  /// Deepest the host queue ever got (lifetime watermark).
+  uint32_t host_inflight_watermark() const { return host_inflight_watermark_; }
+  /// Lifetime admissions into the host queue.
+  uint64_t host_admissions() const { return host_admissions_; }
+  /// Lifetime kQueueFull rejections.
+  uint64_t host_queue_full() const { return host_queue_full_; }
+
   // --- Per-request latency histograms -----------------------------------
 
   /// Records one request's end-to-end latency (its batch window makespan).
@@ -194,10 +221,13 @@ class IoStats {
     elapsed_us_ = 0;
     std::fill(channel_busy_us_.begin(), channel_busy_us_.end(), 0.0);
     std::fill(channel_ops_.begin(), channel_ops_.end(), uint64_t{0});
-    // channel_depth_ is live pipeline state, not a statistic: in-flight
-    // submissions still complete after a Reset.
+    // channel_depth_ and host_inflight_ are live pipeline state, not
+    // statistics: in-flight submissions still complete after a Reset.
     max_queue_depth_ = 0;
     submissions_ = 0;
+    host_inflight_watermark_ = host_inflight_;
+    host_admissions_ = 0;
+    host_queue_full_ = 0;
     for (LatencyHistogram& h : request_latency_) h.Reset();
   }
 
@@ -210,6 +240,10 @@ class IoStats {
   std::vector<uint32_t> channel_depth_;
   uint32_t max_queue_depth_ = 0;
   uint64_t submissions_ = 0;
+  uint32_t host_inflight_ = 0;
+  uint32_t host_inflight_watermark_ = 0;
+  uint64_t host_admissions_ = 0;
+  uint64_t host_queue_full_ = 0;
   std::array<LatencyHistogram, kNumRequestClasses> request_latency_;
 };
 

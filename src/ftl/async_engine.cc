@@ -1,0 +1,240 @@
+#include "ftl/async_engine.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace gecko {
+
+RequestClass RequestClassOf(IoOp op) {
+  switch (op) {
+    case IoOp::kWrite: return RequestClass::kWrite;
+    case IoOp::kRead: return RequestClass::kRead;
+    case IoOp::kTrim: return RequestClass::kTrim;
+    case IoOp::kFlush: return RequestClass::kFlush;
+  }
+  return RequestClass::kWrite;
+}
+
+AsyncEngine::AsyncEngine(AsyncHost* host, FlashDevice* device,
+                         uint32_t queue_depth)
+    : host_(host), device_(device), queue_depth_(queue_depth) {
+  GECKO_CHECK_GT(queue_depth, 0u);
+}
+
+Status AsyncEngine::Validate(const IoRequest& request) {
+  if (request.op == IoOp::kFlush) {
+    if (!request.extents.empty()) {
+      return Status::InvalidArgument("flush requests carry no extents");
+    }
+    return Status::Ok();
+  }
+  if (request.extents.empty()) {
+    return Status::InvalidArgument("request has no extents");
+  }
+  return Status::Ok();
+}
+
+Status AsyncEngine::Submit(IoRequest&& request, CompletionCb on_complete) {
+  // Validation and the depth check precede any move, so a refused request
+  // is left untouched in the caller's hands for resubmission.
+  Status invalid = Validate(request);
+  if (!invalid.ok()) return invalid;
+  if (in_flight() >= queue_depth_) {
+    ++stats_.queue_full;
+    device_->stats().OnHostQueueFull();
+    return Status::QueueFull("host submission queue at its in-flight cap");
+  }
+
+  const uint64_t seq = next_seq_++;
+  Inflight& r = requests_[seq];
+  r.seq = seq;
+  r.request = std::move(request);
+  r.on_complete = std::move(on_complete);
+  r.cls = RequestClassOf(r.request.op);
+  r.submit_us = device_->now_us();
+  r.keys = host_->DependencyKeys(r.request);
+  ClaimKeys(r);
+  ++stats_.admitted;
+  device_->stats().OnHostAdmit();
+
+  if (Grantable(r)) {
+    Dispatch(r);
+  } else {
+    ++stats_.parked;
+  }
+  return Status::Ok();
+}
+
+bool AsyncEngine::Grantable(const Inflight& r) const {
+  for (const DepKey& key : r.keys) {
+    auto it = key_claims_.find({static_cast<uint8_t>(key.space), key.id});
+    if (it == key_claims_.end()) continue;
+    for (const Claim& claim : it->second) {
+      if (claim.seq >= r.seq) break;  // FIFO: only earlier claims block
+      if (claim.exclusive || key.exclusive) return false;
+    }
+  }
+  return true;
+}
+
+void AsyncEngine::ClaimKeys(const Inflight& r) {
+  for (const DepKey& key : r.keys) {
+    key_claims_[{static_cast<uint8_t>(key.space), key.id}].push_back(
+        Claim{r.seq, key.exclusive});
+  }
+}
+
+void AsyncEngine::ReleaseKeys(const Inflight& r) {
+  for (const DepKey& key : r.keys) {
+    auto it = key_claims_.find({static_cast<uint8_t>(key.space), key.id});
+    GECKO_CHECK(it != key_claims_.end());
+    std::deque<Claim>& claims = it->second;
+    for (auto c = claims.begin(); c != claims.end(); ++c) {
+      if (c->seq == r.seq) {
+        claims.erase(c);
+        break;
+      }
+    }
+    if (claims.empty()) key_claims_.erase(it);
+  }
+}
+
+void AsyncEngine::Dispatch(Inflight& r) {
+  // The engine holds one long-lived batch window while anything is in
+  // flight, so every dispatched request's ops park on the channel queues
+  // and overlap with the other in-flight requests' ops.
+  if (!pipeline_open_) {
+    device_->BeginBatch();
+    pipeline_open_ = true;
+  }
+  device_->BeginOpScope();
+  host_->ExecuteRequest(r.request, &r.result);
+  FlashDevice::OpScope scope = device_->EndOpScope();
+  r.flash_ops = scope.ops;
+  // A request that touched no flash (e.g. a trim of never-written pages)
+  // completes instantly, at the clock it was serviced on.
+  r.complete_us =
+      scope.ops > 0 ? scope.last_complete_us : device_->now_us();
+  r.dispatched = true;
+  ++stats_.dispatched;
+  completion_heap_.push({r.complete_us, r.seq});
+}
+
+void AsyncEngine::DispatchGrantableParked() {
+  // Admission order; dispatching one cannot un-grant another (claims are
+  // made at admission and only released at completion), so one pass is
+  // enough.
+  for (auto& [seq, r] : requests_) {
+    if (!r.dispatched && Grantable(r)) Dispatch(r);
+  }
+}
+
+uint64_t AsyncEngine::FireDueCompletions() {
+  uint64_t fired = 0;
+  while (!completion_heap_.empty() &&
+         completion_heap_.top().first <= device_->now_us()) {
+    const uint64_t seq = completion_heap_.top().second;
+    completion_heap_.pop();
+    auto it = requests_.find(seq);
+    GECKO_CHECK(it != requests_.end());
+    Inflight r = std::move(it->second);
+    requests_.erase(it);
+
+    ReleaseKeys(r);
+    ++stats_.completed;
+    device_->stats().OnHostComplete();
+    // One latency sample per request with flash work, identical to the
+    // old per-request batch-window makespan: after a barrier, submit_us
+    // is the window-open clock and complete_us the makespan end.
+    if (r.flash_ops > 0) {
+      device_->stats().OnRequestLatency(r.cls, r.complete_us - r.submit_us);
+    }
+    // Unblock dependents before the callback: a parked zero-op request
+    // released here completes at the current clock and fires within this
+    // same loop.
+    DispatchGrantableParked();
+    if (r.on_complete) {
+      AsyncCompletion done;
+      done.submit_us = r.submit_us;
+      done.complete_us = r.complete_us;
+      done.flash_ops = r.flash_ops;
+      r.on_complete(r.result, done);
+    }
+    ++fired;
+  }
+  return fired;
+}
+
+uint64_t AsyncEngine::Poll() {
+  // Retire channel ops due at the current clock (a no-op if the host has
+  // already advanced the device), then harvest due request completions.
+  if (pipeline_open_) device_->AdvanceTo(device_->now_us());
+  return FireDueCompletions();
+}
+
+uint64_t AsyncEngine::DrainAll() {
+  uint64_t fired = 0;
+  while (!requests_.empty()) {
+    // Close the window: the barrier drain retires every parked op and
+    // advances the clock to the outstanding makespan, so every dispatched
+    // request is now due. Firing them may dispatch parked dependents,
+    // reopening the window — hence the loop.
+    if (pipeline_open_) {
+      device_->EndBatch();
+      pipeline_open_ = false;
+    }
+    GECKO_CHECK(!device_->in_batch())
+        << "DrainAsync inside a caller-managed batch window";
+    uint64_t wave = FireDueCompletions();
+    GECKO_CHECK_GT(wave, 0u) << "async drain made no progress";
+    fired += wave;
+  }
+  if (pipeline_open_) {
+    device_->EndBatch();
+    pipeline_open_ = false;
+  }
+  return fired;
+}
+
+uint64_t AsyncEngine::AbortAll() {
+  // Close the window first: ops already submitted by dispatched requests
+  // have physically landed (the simulator commits data effects at
+  // submission — the moral equivalent of commands completing on device
+  // capacitance), so they retire into the stats like any other ops.
+  if (pipeline_open_) {
+    device_->EndBatch();
+    pipeline_open_ = false;
+  }
+  completion_heap_ = {};
+  key_claims_.clear();
+  std::map<uint64_t, Inflight> dying;
+  dying.swap(requests_);
+
+  uint64_t aborted = 0;
+  for (auto& [seq, r] : dying) {
+    (void)seq;
+    ++stats_.aborted;
+    device_->stats().OnHostComplete();
+    if (r.on_complete) {
+      IoResult result;
+      result.status = Status::Aborted("power failure with request in flight");
+      AsyncCompletion done;
+      done.submit_us = r.submit_us;
+      done.complete_us = 0;  // never completed
+      done.flash_ops = r.flash_ops;
+      r.on_complete(result, done);
+    }
+    ++aborted;
+  }
+  return aborted;
+}
+
+double AsyncEngine::NextCompletionUs() const {
+  if (completion_heap_.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return completion_heap_.top().first;
+}
+
+}  // namespace gecko

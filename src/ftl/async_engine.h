@@ -1,0 +1,194 @@
+// Host-side asynchronous submission/completion engine (the tentpole of
+// ROADMAP item 1): NVMe-style queue-depth semantics over the channel-
+// parallel flash backend.
+//
+// SubmitAsync admits a request and returns immediately; up to
+// `queue_depth` requests may be in flight at once. Because the simulator
+// is functionally synchronous (data effects commit at submission; the
+// channel pipeline models *time*), a dispatched request's device-time
+// completion is known the moment its last flash op is stamped — so the
+// engine needs no per-op device callbacks: it services each request
+// through the host's synchronous code inside a long-lived device batch
+// window, brackets the servicing in a FlashDevice op scope to capture the
+// request's completion time, and parks {complete_us, seq} on a min-heap.
+// Poll() retires channel ops due at the current clock and fires callbacks
+// in device-time completion order.
+//
+// Conflicting in-flight requests must not overlap: a write and a later
+// read of the same LPN (RAW), two writes of one LPN (WAW), or two
+// cache-overflowing batches committing the same translation page would
+// otherwise interleave their metadata updates. The engine serializes them
+// with per-key FIFO waiting lists — the same shape as the EagleTree DFTL
+// scheduler's `ongoing_mapping_operations`, where application IOs park
+// behind the in-flight mapping operation of their translation page. The
+// host computes each request's dependency keys (it knows LPN->translation-
+// page geometry and the cache state); the engine only runs the lock table:
+// a request dispatches when every key it claims is compatible with every
+// earlier claim, and completions re-scan parked requests in admission
+// order. Keys are claimed all-at-once at admission in seq order, so the
+// wait-for graph is acyclic and progress is guaranteed (the earliest
+// in-flight request is always dispatched).
+
+#ifndef GECKOFTL_FTL_ASYNC_ENGINE_H_
+#define GECKOFTL_FTL_ASYNC_ENGINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "flash/flash_device.h"
+#include "ftl/ftl.h"
+
+namespace gecko {
+
+/// One resource an in-flight request claims until it completes. Requests
+/// whose key sets conflict (same space+id, at least one side exclusive)
+/// serialize in admission order; compatible claims overlap.
+struct DepKey {
+  enum class Space : uint8_t {
+    kLpn = 0,          // a logical page (writes/trims exclusive, reads shared)
+    kTranslationPage,  // a translation page an eager commit will rewrite
+    kGlobal,           // the whole device (flush barrier; others share it)
+  };
+  Space space = Space::kLpn;
+  uint64_t id = 0;
+  bool exclusive = true;
+
+  static DepKey Lpn(uint64_t lpn, bool exclusive) {
+    return DepKey{Space::kLpn, lpn, exclusive};
+  }
+  static DepKey TPage(uint64_t tpage, bool exclusive) {
+    return DepKey{Space::kTranslationPage, tpage, exclusive};
+  }
+  static DepKey Global(bool exclusive) {
+    return DepKey{Space::kGlobal, 0, exclusive};
+  }
+};
+
+/// What the engine needs from the FTL it runs inside.
+class AsyncHost {
+ public:
+  virtual ~AsyncHost() = default;
+
+  /// Services one well-formed request synchronously (the engine opens the
+  /// batch window and the op scope around the call).
+  virtual void ExecuteRequest(IoRequest& request, IoResult* result) = 0;
+
+  /// The dependency keys `request` must hold while in flight. Called once
+  /// at admission; every non-flush request should include a shared
+  /// kGlobal key so flushes act as full barriers.
+  virtual std::vector<DepKey> DependencyKeys(const IoRequest& request) = 0;
+};
+
+/// Engine-level event counters (tests assert on these; bench_qd_sweep
+/// reports the host view from IoStats instead).
+struct AsyncEngineStats {
+  uint64_t admitted = 0;   // requests accepted into the queue
+  uint64_t parked = 0;     // admissions that had to wait on a dependency
+  uint64_t dispatched = 0; // requests serviced (parked ones count on release)
+  uint64_t completed = 0;  // callbacks fired with a real completion
+  uint64_t aborted = 0;    // in-flight requests killed by a power failure
+  uint64_t queue_full = 0; // admissions refused at the in-flight cap
+};
+
+class AsyncEngine {
+ public:
+  AsyncEngine(AsyncHost* host, FlashDevice* device, uint32_t queue_depth);
+
+  /// See Ftl::SubmitAsync. On kQueueFull the request is left untouched.
+  Status Submit(IoRequest&& request, CompletionCb on_complete);
+
+  /// See Ftl::Poll.
+  uint64_t Poll();
+
+  /// See Ftl::DrainAsync. Closes the engine's batch window between waves
+  /// (a barrier drain advances the clock to the outstanding makespan), so
+  /// it must not be called inside a caller-managed batch window.
+  uint64_t DrainAll();
+
+  /// Power-failure path: every in-flight request's callback fires with
+  /// kAborted (dispatched requests' flash effects have landed — they are
+  /// indeterminate to the host, like NVMe commands outstanding at reset;
+  /// parked ones never executed), the engine window closes, and the queue
+  /// empties. Returns the number of requests aborted.
+  uint64_t AbortAll();
+
+  uint32_t in_flight() const {
+    return static_cast<uint32_t>(requests_.size());
+  }
+  bool idle() const { return requests_.empty(); }
+  /// Device time of the earliest pending dispatched completion
+  /// (+infinity when none).
+  double NextCompletionUs() const;
+
+  uint32_t queue_depth() const { return queue_depth_; }
+  const AsyncEngineStats& stats() const { return stats_; }
+
+  /// Structural validation shared with the synchronous inline path:
+  /// flushes carry no extents; everything else carries at least one.
+  static Status Validate(const IoRequest& request);
+
+ private:
+  struct Inflight {
+    uint64_t seq = 0;
+    IoRequest request;
+    CompletionCb on_complete;
+    IoResult result;
+    std::vector<DepKey> keys;
+    RequestClass cls = RequestClass::kWrite;
+    double submit_us = 0;
+    double complete_us = 0;
+    uint64_t flash_ops = 0;
+    bool dispatched = false;
+  };
+
+  /// A claim parked on one key's FIFO waiting list.
+  struct Claim {
+    uint64_t seq;
+    bool exclusive;
+  };
+  using KeyId = std::pair<uint8_t, uint64_t>;  // (space, id)
+
+  /// Whether every key of `r` is compatible with all earlier claims.
+  bool Grantable(const Inflight& r) const;
+  void ClaimKeys(const Inflight& r);
+  void ReleaseKeys(const Inflight& r);
+
+  /// Services `r` through the host inside the engine window, capturing
+  /// its device-time completion via the op scope.
+  void Dispatch(Inflight& r);
+  /// Dispatches, in admission order, every parked request whose keys
+  /// became compatible.
+  void DispatchGrantableParked();
+  /// Fires callbacks of dispatched requests whose completion time has
+  /// been reached by the device clock.
+  uint64_t FireDueCompletions();
+
+  AsyncHost* host_;
+  FlashDevice* device_;
+  uint32_t queue_depth_;
+  uint64_t next_seq_ = 1;
+  /// In-flight requests by admission seq (ordered: abort/park scans are
+  /// deterministic).
+  std::map<uint64_t, Inflight> requests_;
+  std::map<KeyId, std::deque<Claim>> key_claims_;
+  /// Pending dispatched completions: min-heap on (complete_us, seq).
+  std::priority_queue<std::pair<double, uint64_t>,
+                      std::vector<std::pair<double, uint64_t>>,
+                      std::greater<std::pair<double, uint64_t>>>
+      completion_heap_;
+  /// Whether the engine holds its long-lived device batch window open.
+  bool pipeline_open_ = false;
+  AsyncEngineStats stats_;
+};
+
+/// Latency-accounting class of a request op (shared by the engine and the
+/// legacy inline path).
+RequestClass RequestClassOf(IoOp op);
+
+}  // namespace gecko
+
+#endif  // GECKOFTL_FTL_ASYNC_ENGINE_H_

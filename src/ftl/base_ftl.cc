@@ -2,20 +2,9 @@
 
 #include <algorithm>
 #include <map>
+#include <utility>
 
 namespace gecko {
-
-namespace {
-RequestClass ClassOf(IoOp op) {
-  switch (op) {
-    case IoOp::kWrite: return RequestClass::kWrite;
-    case IoOp::kRead: return RequestClass::kRead;
-    case IoOp::kTrim: return RequestClass::kTrim;
-    case IoOp::kFlush: return RequestClass::kFlush;
-  }
-  return RequestClass::kWrite;
-}
-}  // namespace
 
 BaseFtl::BaseFtl(FlashDevice* device, const FtlConfig& config)
     : device_(device),
@@ -27,7 +16,8 @@ BaseFtl::BaseFtl(FlashDevice* device, const FtlConfig& config)
       cache_(config.cache_capacity),
       victim_policy_(MakeGcVictimPolicy(config.gc_policy)),
       bvc_(device->geometry().num_blocks, 0),
-      scheduler_(this, config) {
+      scheduler_(this, config),
+      engine_(this, device, config.async_queue_depth) {
   if (config.wear_leveling) {
     wear_ = std::make_unique<WearLeveler>(device, config.wear_gap_threshold);
   }
@@ -43,77 +33,140 @@ Status BaseFtl::Submit(IoRequest& request, IoResult* result) {
   IoResult& res = result != nullptr ? *result : scratch;
   res = IoResult();
 
+  // Caller-managed batch window (a driver stacking several requests into
+  // one window): the window's owner controls the clock, so there is no
+  // completion time to wait for — service inline, exactly the pre-async
+  // semantics. Mixing such windows with in-flight async requests is
+  // unsupported (the engine's drain barrier would close a window it does
+  // not own), hence the engine-idle condition.
+  if (engine_.idle() && device_->in_batch()) {
+    res.status = AsyncEngine::Validate(request);
+    if (res.status.ok()) ServiceRequest(request, &res);
+    return res.status;
+  }
+
+  // Thin wrapper over the async path: submit, then run the reactor to
+  // completion. The engine opens a batch window around the dispatch, so a
+  // lone synchronous request still completes in max-per-channel time and
+  // records the same one-sample-per-request latency as before. If other
+  // async requests are in flight, this acts as a barrier for them too.
+  bool done = false;
+  CompletionCb capture = [&res, &done](const IoResult& r,
+                                       const AsyncCompletion&) {
+    res = r;
+    done = true;
+  };
+  IoRequest copy = request;  // callers may reuse the request across retries
+  Status s = engine_.Submit(std::move(copy), capture);
+  if (s.code() == StatusCode::kQueueFull) {
+    engine_.DrainAll();
+    s = engine_.Submit(std::move(copy), capture);
+  }
+  if (!s.ok()) {
+    res.status = s;
+    return s;
+  }
+  engine_.DrainAll();
+  GECKO_CHECK(done) << "submission drained without completing";
+  return res.status;
+}
+
+void BaseFtl::ServiceRequest(IoRequest& request, IoResult* result) {
   const size_t n = request.extents.size();
   if (request.op == IoOp::kFlush) {
-    if (n != 0) {
-      res.status = Status::InvalidArgument("flush requests carry no extents");
-      return res.status;
-    }
     ++counters_.flushes;
-    device_->BeginBatch();
     FlushAll();
-    FlashDevice::BatchResult batch = device_->EndBatch();
-    if (!device_->in_batch() && batch.ops > 0) {
-      device_->stats().OnRequestLatency(RequestClass::kFlush,
-                                        batch.elapsed_us);
-    }
-    return res.status;
+    return;
   }
-  if (n == 0) {
-    res.status = Status::InvalidArgument("request has no extents");
-    return res.status;
-  }
-  res.extent_status.assign(n, Status::Ok());
+  result->extent_status.assign(n, Status::Ok());
   if (n > 1) {
     ++counters_.batches;
     counters_.batched_pages += n;
   }
 
-  // One batch window per request: every flash op the request triggers —
-  // data pages, translation commits, PVM chunk writes, even GC it forces
-  // — parks on its block's channel queue, and the window completes in
-  // max-per-channel time. Channel-striped allocation spreads the batch,
-  // so an N-channel device services it up to N times faster.
-  device_->BeginBatch();
   switch (request.op) {
     case IoOp::kWrite:
       if (n == 1) {
-        res.extent_status[0] = WriteExtent(request.extents[0].lpn,
-                                           request.extents[0].payload,
-                                           /*tombstone=*/false,
-                                           /*batched=*/false);
+        result->extent_status[0] = WriteExtent(request.extents[0].lpn,
+                                               request.extents[0].payload,
+                                               /*tombstone=*/false,
+                                               /*batched=*/false);
       } else {
-        WriteBatch(request, &res, /*trim=*/false);
+        WriteBatch(request, result, /*trim=*/false);
       }
       break;
     case IoOp::kTrim:
       // Trims of any size run the batched path: even a single trim
       // benefits from the deferred-identification + grouped-sync shape,
       // and the tombstone it writes makes the discard crash-durable.
-      WriteBatch(request, &res, /*trim=*/true);
+      WriteBatch(request, result, /*trim=*/true);
       break;
     case IoOp::kRead:
-      res.payloads.assign(n, 0);
+      result->payloads.assign(n, 0);
       if (n == 1) {
-        res.extent_status[0] = ReadOne(request.extents[0].lpn,
-                                       &res.payloads[0]);
+        result->extent_status[0] = ReadOne(request.extents[0].lpn,
+                                           &result->payloads[0]);
       } else {
-        ReadBatch(request, &res);
+        ReadBatch(request, result);
       }
       break;
     case IoOp::kFlush:
       break;  // handled above
   }
-  FlashDevice::BatchResult batch = device_->EndBatch();
-  // Tail-latency accounting: one sample per request, its batch window's
-  // makespan. Inner windows (a caller-managed batch) record nothing —
-  // the makespan is only known at the outermost close — and neither do
-  // zero-op windows (e.g. a trim of never-written pages), which would
-  // flood the distribution with 0-us samples.
-  if (!device_->in_batch() && batch.ops > 0) {
-    device_->stats().OnRequestLatency(ClassOf(request.op), batch.elapsed_us);
+}
+
+std::vector<DepKey> BaseFtl::DependencyKeys(const IoRequest& request) {
+  std::vector<DepKey> keys;
+  if (request.op == IoOp::kFlush) {
+    // A flush synchronizes every dirty entry: it must see the effects of
+    // everything admitted before it and block everything after — a full
+    // barrier, expressed as the exclusive side of the global key every
+    // other request shares.
+    keys.push_back(DepKey::Global(/*exclusive=*/true));
+    return keys;
   }
-  return res.status;
+  keys.push_back(DepKey::Global(/*exclusive=*/false));
+
+  const uint64_t num_lpns = device_->geometry().NumLogicalPages();
+  const bool write_like =
+      request.op == IoOp::kWrite || request.op == IoOp::kTrim;
+  // Cache-overflowing write/trim batches commit each touched translation
+  // page inline (WriteBatch's eager commit): two such commits of one
+  // tpage — or a commit racing a miss-path read of it — must serialize.
+  const bool eager_commit =
+      write_like && request.extents.size() >= 2 * cache_.capacity();
+
+  std::vector<std::pair<uint64_t, bool>> lpns;    // (lpn, exclusive)
+  std::vector<std::pair<uint64_t, bool>> tpages;  // (tpage, exclusive)
+  for (const IoExtent& e : request.extents) {
+    if (e.lpn >= num_lpns) continue;  // rejected per-extent; touches nothing
+    lpns.push_back({e.lpn, write_like});
+    if (eager_commit) {
+      tpages.push_back({translation_.TPageOf(e.lpn), true});
+    } else if (request.op == IoOp::kRead && cache_.Peek(e.lpn) == nullptr) {
+      // Predicted cache miss: the read will fetch this translation page.
+      tpages.push_back({translation_.TPageOf(e.lpn), false});
+    }
+  }
+
+  // Dedupe each space, merging exclusivity (exclusive wins).
+  auto emit = [&keys](std::vector<std::pair<uint64_t, bool>>* ids,
+                      DepKey::Space space) {
+    std::sort(ids->begin(), ids->end());
+    for (size_t i = 0; i < ids->size();) {
+      size_t j = i;
+      bool exclusive = false;
+      while (j < ids->size() && (*ids)[j].first == (*ids)[i].first) {
+        exclusive = exclusive || (*ids)[j].second;
+        ++j;
+      }
+      keys.push_back(DepKey{space, (*ids)[i].first, exclusive});
+      i = j;
+    }
+  };
+  emit(&lpns, DepKey::Space::kLpn);
+  emit(&tpages, DepKey::Space::kTranslationPage);
+  return keys;
 }
 
 Status BaseFtl::WriteExtent(Lpn lpn, uint64_t payload, bool tombstone,
@@ -1123,9 +1176,15 @@ void BaseFtl::SyncAllDirty(RecoveryReport* report) {
 }
 
 RecoveryReport BaseFtl::CrashAndRecover() {
-  // Requests are serviced synchronously, so a crash can only land between
-  // Submits — when no batched reports are pending and no channel batch
-  // window is open.
+  // In-flight async requests die with the power: dispatched ones have
+  // their flash effects on the device but the host never saw a
+  // completion (indeterminate, like NVMe commands outstanding at reset);
+  // parked ones never executed at all. Both get kAborted callbacks, and
+  // the engine's batch window closes (its parked channel ops physically
+  // happened and retire into the stats).
+  engine_.AbortAll();
+  // Request dispatch itself is synchronous, so the crash now sits between
+  // dispatches — no batched reports pending, no batch window open.
   GECKO_CHECK(pending_invalid_.empty() && !defer_invalid_reports_)
       << "power failure inside a batched request";
   GECKO_CHECK(!device_->in_batch())

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "flash/flash_device.h"
+#include "ftl/async_engine.h"
 #include "ftl/block_manager.h"
 #include "ftl/ftl.h"
 #include "ftl/ftl_config.h"
@@ -33,19 +34,38 @@
 
 namespace gecko {
 
-class BaseFtl : public Ftl, private MaintenanceHost {
+class BaseFtl : public Ftl, private MaintenanceHost, private AsyncHost {
  public:
   BaseFtl(FlashDevice* device, const FtlConfig& config);
   ~BaseFtl() override = default;
 
-  /// Request-oriented entry point. Single-extent writes/reads take the
-  /// classic per-page path; multi-extent requests run the batched path,
-  /// which updates each touched translation page and page-validity-store
-  /// page once per request instead of once per lpn. Every request is
-  /// serviced inside one device batch window, so its flash ops — user
-  /// pages, metadata commits, GC — overlap across channels and the
-  /// request completes in max-per-channel time.
+  /// Request-oriented entry point — now a thin wrapper over the async
+  /// path: submit-async + drain-to-completion, so a lone synchronous
+  /// request still gets its own batch window (its flash ops overlap
+  /// across channels, completing in max-per-channel time) and existing
+  /// callers see exactly the pre-async semantics. Inside a caller-managed
+  /// batch window (and with nothing async in flight) the request is
+  /// serviced inline instead: the window's owner controls the clock, so
+  /// there is no completion time to wait for.
   Status Submit(IoRequest& request, IoResult* result) override;
+
+  /// Async submission/completion (ftl/async_engine.h): admits up to
+  /// FtlConfig::async_queue_depth requests, overlapping independent ones
+  /// across channels while the dependency tracker serializes conflicting
+  /// ones (same-LPN RAW/WAW, same eager translation-page commit, flush
+  /// barriers).
+  Status SubmitAsync(IoRequest&& request, CompletionCb on_complete) override {
+    return engine_.Submit(std::move(request), std::move(on_complete));
+  }
+  uint64_t Poll() override { return engine_.Poll(); }
+  uint64_t DrainAsync() override { return engine_.DrainAll(); }
+  uint32_t InFlightRequests() const override { return engine_.in_flight(); }
+  double NextCompletionUs() const override {
+    return engine_.NextCompletionUs();
+  }
+
+  /// Engine introspection (admission/park/abort counters) for tests.
+  const AsyncEngine& async_engine() const { return engine_; }
 
   RecoveryReport CrashAndRecover() override;
   uint64_t RamBytes() const override;
@@ -141,6 +161,31 @@ class BaseFtl : public Ftl, private MaintenanceHost {
   void FlushPendingInvalid();
 
   // --- Request servicing ------------------------------------------------
+
+  /// Services one validated request synchronously: single-extent
+  /// writes/reads take the classic per-page path; multi-extent requests
+  /// run the batched path, which updates each touched translation page
+  /// and page-validity-store page once per request instead of once per
+  /// lpn. Timing (batch window, op scope) is the caller's concern — the
+  /// async engine brackets this call; the inline path runs it inside the
+  /// caller's window.
+  void ServiceRequest(IoRequest& request, IoResult* result);
+
+  // --- AsyncHost (the engine's view of this FTL) ------------------------
+
+  void ExecuteRequest(IoRequest& request, IoResult* result) override {
+    ServiceRequest(request, result);
+  }
+
+  /// Dependency keys of one request: exclusive per-LPN claims for writes
+  /// and trims, shared for reads; shared translation-page claims for
+  /// reads predicted to miss the mapping cache (their miss path reads the
+  /// translation page — the EagleTree `ongoing_mapping_operations`
+  /// hazard); exclusive translation-page claims for cache-overflowing
+  /// write batches (WriteBatch's eager per-tpage commit); a global key
+  /// that makes kFlush a full barrier (exclusive for flush, shared for
+  /// everything else).
+  std::vector<DepKey> DependencyKeys(const IoRequest& request) override;
 
   /// The classic single-page write path (also services one-extent write
   /// requests). `tombstone` turns the write into a trim tombstone;
@@ -299,6 +344,9 @@ class BaseFtl : public Ftl, private MaintenanceHost {
   /// The maintenance plane: decides when GC steps, checkpoints, wear
   /// scans, and idle flushes run. Declared last; it only stores pointers.
   MaintenanceScheduler scheduler_;
+  /// The async submission/completion engine (declared after everything it
+  /// can reach through the AsyncHost hooks; only stores pointers).
+  AsyncEngine engine_;
 };
 
 }  // namespace gecko

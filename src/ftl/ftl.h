@@ -11,7 +11,10 @@
 #define GECKOFTL_FTL_FTL_H_
 
 #include <cstdint>
+#include <functional>
+#include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "flash/types.h"
@@ -41,6 +44,22 @@ struct FtlCounters {
   uint64_t cache_misses = 0;      // mapping-cache misses
 };
 
+/// Device-time timeline of one completed async request, delivered to its
+/// completion callback alongside the per-extent result.
+struct AsyncCompletion {
+  double submit_us = 0;    // device clock at admission
+  double complete_us = 0;  // completion of the request's last flash op
+  uint64_t flash_ops = 0;  // flash ops the request dispatched (0 possible)
+};
+
+/// Completion callback of an async request, fired from Poll()/DrainAsync()
+/// in device-time completion order. For requests aborted by a power
+/// failure the result's status is kAborted and `done.complete_us` is 0
+/// (there is no meaningful completion time). Callbacks may submit new
+/// requests (closed-loop hosts), except from an abort delivery.
+using CompletionCb = std::function<void(const IoResult& result,
+                                        const AsyncCompletion& done)>;
+
 /// Block-device-like interface every FTL implements.
 class Ftl {
  public:
@@ -55,6 +74,45 @@ class Ftl {
   /// read of a never-written or trimmed page. `result` may be null for
   /// fire-and-forget writes/trims.
   virtual Status Submit(IoRequest& request, IoResult* result) = 0;
+
+  // --- Asynchronous submission/completion --------------------------------
+  // NVMe-style queue-depth semantics: SubmitAsync admits a request and
+  // returns immediately; up to FtlConfig::async_queue_depth requests may
+  // be in flight at once, overlapping across channels (requests that
+  // conflict — same-LPN RAW/WAW, same translation-page commit — serialize
+  // on per-key waiting lists). Completions are harvested by Poll() /
+  // DrainAsync(), which fire callbacks in device-time completion order.
+  // The synchronous Submit() above is a thin wrapper: submit-async +
+  // drain-to-completion.
+
+  /// Admits one request into the host submission queue. Returns OK when
+  /// admitted (the callback will fire exactly once, from a later Poll/
+  /// DrainAsync); kQueueFull when the in-flight cap is reached — the
+  /// request is NOT consumed then and may be resubmitted after draining;
+  /// InvalidArgument for a malformed request (no admission, no callback).
+  /// `on_complete` may be empty for fire-and-forget submission.
+  virtual Status SubmitAsync(IoRequest&& request, CompletionCb on_complete) = 0;
+
+  /// Reactor tick: retires channel ops due at the current device clock
+  /// and fires the completion callbacks of every in-flight request whose
+  /// device-time completion has been reached, dispatching any requests
+  /// their completion unblocks. Returns the number of callbacks fired.
+  virtual uint64_t Poll() = 0;
+
+  /// Runs the reactor until no request is in flight (the synchronous
+  /// barrier behind Submit and Flush). Returns callbacks fired.
+  virtual uint64_t DrainAsync() = 0;
+
+  /// Requests admitted and not yet completed.
+  virtual uint32_t InFlightRequests() const = 0;
+
+  /// Device time at which the earliest in-flight dispatched request
+  /// completes — the next instant Poll() has work to do. +infinity when
+  /// nothing is in flight. Open-loop drivers advance the device clock to
+  /// this point between arrivals.
+  virtual double NextCompletionUs() const {
+    return std::numeric_limits<double>::infinity();
+  }
 
   // --- Single-page compatibility layer, re-expressed over Submit() -----
   // Each wrapper submits a one-extent request and folds the per-extent

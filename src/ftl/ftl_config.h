@@ -81,6 +81,12 @@ struct FtlConfig {
   /// C: capacity of the LRU mapping cache, in entries.
   uint32_t cache_capacity = 2048;
 
+  /// In-flight cap of the host-side async submission queue: SubmitAsync
+  /// admits at most this many uncompleted requests before pushing back
+  /// with kQueueFull (NVMe-style queue-depth semantics). Parked requests
+  /// (waiting on a dependency) count against the cap.
+  uint32_t async_queue_depth = 32;
+
   /// Maximum number of dirty entries allowed in the cache, as a fraction
   /// of cache_capacity. 0 disables the cap. LazyFTL/IB-FTL use 0.1
   /// (Section 5.3); GeckoFTL and battery-backed FTLs are uncapped.

@@ -28,9 +28,15 @@ void FlashPvb::ReadModifyWrite(uint32_t c, Fn mutate) {
   }
   // First write of a chunk needs no prior read (all-zero bitmap).
   mutate(&chunk_bits_[c]);
-  // Stream = the chunk id: a chunk's versions cluster on one stripe slot;
-  // a batch touching many chunks commits them across channels in parallel.
-  PhysicalAddress fresh = allocator_->AllocatePage(PageType::kPvm, c);
+  // Round-robin placement (no stream): every data write RMWs some chunk,
+  // and the chunk population is tiny (one per `blocks_per_chunk_` blocks),
+  // so pinning a chunk's versions to one stripe slot would serialize the
+  // whole validity pipeline behind a single channel whenever one chunk
+  // runs hot — e.g. right after a sequential fill, when most live pages
+  // share a few low-numbered chunks. Recovery is placement-agnostic (the
+  // spare's key carries the chunk id), so successive versions are free to
+  // stripe and concurrent in-flight requests commit chunks in parallel.
+  PhysicalAddress fresh = allocator_->AllocatePage(PageType::kPvm);
   SpareArea spare;
   spare.type = PageType::kPvm;
   spare.key = c;  // chunk id, used by the recovery scan

@@ -21,6 +21,14 @@ enum class StatusCode {
   kOutOfSpace,
   kFailedPrecondition,
   kCorruption,
+  /// Async admission refused: the host-side submission queue is at its
+  /// configured in-flight cap. The request was not consumed; resubmit
+  /// after draining completions (backpressure, not an error state).
+  kQueueFull,
+  /// An in-flight async request was cancelled before completing — e.g. a
+  /// power failure hit while it was queued or executing. Its effects are
+  /// indeterminate, like an NVMe command outstanding at reset.
+  kAborted,
 };
 
 /// Result of an operation that can fail. Cheap to copy when OK.
@@ -46,6 +54,12 @@ class Status {
   static Status Corruption(std::string m) {
     return Status(StatusCode::kCorruption, std::move(m));
   }
+  static Status QueueFull(std::string m) {
+    return Status(StatusCode::kQueueFull, std::move(m));
+  }
+  static Status Aborted(std::string m) {
+    return Status(StatusCode::kAborted, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -61,6 +75,8 @@ class Status {
       case StatusCode::kOutOfSpace: name = "OUT_OF_SPACE"; break;
       case StatusCode::kFailedPrecondition: name = "FAILED_PRECONDITION"; break;
       case StatusCode::kCorruption: name = "CORRUPTION"; break;
+      case StatusCode::kQueueFull: name = "QUEUE_FULL"; break;
+      case StatusCode::kAborted: name = "ABORTED"; break;
     }
     return std::string(name) + ": " + message_;
   }

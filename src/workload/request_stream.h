@@ -29,6 +29,12 @@ class RequestStream {
     uint32_t batch_size = 8;
     /// Probability that a drawn lpn is discarded instead of rewritten.
     double trim_fraction = 0.0;
+    /// Probability that an emitted request is a kRead batch over lpns
+    /// drawn from the workload instead of a kWrite batch (reads of
+    /// never-written lpns come back NotFound; callers that mix reads
+    /// should fill first). Async QD sweeps use the mix to exercise the
+    /// shared-claim dependency path alongside exclusive writes.
+    double read_fraction = 0.0;
     uint64_t seed = 42;
   };
 
@@ -37,6 +43,8 @@ class RequestStream {
     GECKO_CHECK_GT(options.batch_size, 0u);
     GECKO_CHECK_GE(options.trim_fraction, 0.0);
     GECKO_CHECK_LE(options.trim_fraction, 1.0);
+    GECKO_CHECK_GE(options.read_fraction, 0.0);
+    GECKO_CHECK_LE(options.read_fraction, 1.0);
   }
 
   /// Deterministic payload for the i-th write the stream ever emits.
@@ -49,13 +57,23 @@ class RequestStream {
   }
 
   /// Emits the next request: a pending kTrim batch if discards have
-  /// accumulated, otherwise a kWrite batch of `batch_size` extents.
+  /// accumulated, else (with probability `read_fraction`) a kRead batch,
+  /// otherwise a kWrite batch of `batch_size` extents.
   IoRequest Next() {
     if (!pending_trims_.empty()) {
       IoRequest trim = IoRequest::Trim(pending_trims_);
       ops_emitted_ += pending_trims_.size();
       pending_trims_.clear();
       return trim;
+    }
+    if (options_.read_fraction > 0.0 &&
+        rng_.Bernoulli(options_.read_fraction)) {
+      IoRequest read(IoOp::kRead);
+      while (read.extents.size() < options_.batch_size) {
+        read.Add(workload_->NextLpn());
+      }
+      ops_emitted_ += read.extents.size();
+      return read;
     }
     IoRequest write(IoOp::kWrite);
     while (write.extents.size() < options_.batch_size) {

@@ -228,6 +228,122 @@ TEST(DeviceBatchTest, PerChannelStatsAndUtilization) {
   EXPECT_EQ(stats.total_submissions(), 2u);
 }
 
+TEST(ChannelQueueTest, DrainUntilRetiresOnlyTheDuePrefix) {
+  LatencyModel lat;
+  ChannelArray channels(2, lat);
+  // ch0: write (done 1000) then read (done 1100). ch1: read (done 100).
+  channels.Submit(0, FlashOpKind::kPageWrite, {0, 0}, IoPurpose::kUserWrite,
+                  nullptr);
+  channels.Submit(0, FlashOpKind::kPageRead, {0, 0}, IoPurpose::kUserRead,
+                  nullptr);
+  channels.Submit(1, FlashOpKind::kPageRead, {1, 0}, IoPurpose::kUserRead,
+                  nullptr);
+
+  std::vector<FlashSubmission> completed;
+  ChannelArray::DrainResult r = channels.DrainUntil(500, &completed);
+  EXPECT_EQ(r.ops, 1u);  // only the ch1 read is due
+  ASSERT_EQ(completed.size(), 1u);
+  EXPECT_EQ(completed[0].channel, 1u);
+  EXPECT_DOUBLE_EQ(channels.now_us(), 500.0);  // clock to until, not beyond
+  EXPECT_DOUBLE_EQ(r.elapsed_us, 500.0);
+  EXPECT_EQ(channels.depth(0), 2u);
+
+  completed.clear();
+  r = channels.DrainUntil(1000, &completed);
+  EXPECT_EQ(r.ops, 1u);  // the write is due, the trailing read is not
+  EXPECT_DOUBLE_EQ(channels.now_us(), 1000.0);
+  EXPECT_EQ(channels.depth(0), 1u);
+
+  r = channels.Drain(&completed);
+  EXPECT_EQ(r.ops, 1u);
+  EXPECT_DOUBLE_EQ(channels.now_us(), 1000.0 + lat.page_read_us);
+}
+
+TEST(ChannelQueueTest, DrainUntilFiresDueCallbacksInCompletionOrder) {
+  LatencyModel lat;
+  ChannelArray channels(2, lat);
+  std::vector<uint64_t> order;
+  auto record = [&order](const FlashSubmission& s) { order.push_back(s.id); };
+  channels.Submit(0, FlashOpKind::kPageWrite, {0, 0}, IoPurpose::kUserWrite,
+                  record);  // id 1, done 1000
+  channels.Submit(1, FlashOpKind::kPageRead, {1, 0}, IoPurpose::kUserRead,
+                  record);  // id 2, done 100
+  channels.Submit(1, FlashOpKind::kPageRead, {1, 0}, IoPurpose::kUserRead,
+                  record);  // id 3, done 200
+  channels.DrainUntil(150);
+  ASSERT_EQ(order.size(), 1u);
+  EXPECT_EQ(order[0], 2u);
+  channels.Drain();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[1], 3u);
+  EXPECT_EQ(order[2], 1u);
+}
+
+TEST(ChannelQueueTest, DrainUntilPastEverythingMovesClockToUntil) {
+  ChannelArray channels(2, LatencyModel());
+  channels.Submit(0, FlashOpKind::kPageRead, {0, 0}, IoPurpose::kUserRead,
+                  nullptr);
+  ChannelArray::DrainResult r = channels.DrainUntil(5000);
+  EXPECT_EQ(r.ops, 1u);
+  // An idle-time tick: the clock follows the caller's timeline.
+  EXPECT_DOUBLE_EQ(channels.now_us(), 5000.0);
+  r = channels.DrainUntil(100);  // never backwards
+  EXPECT_EQ(r.ops, 0u);
+  EXPECT_DOUBLE_EQ(channels.now_us(), 5000.0);
+}
+
+TEST(DeviceBatchTest, AdvanceToTicksInsideAnOpenWindow) {
+  LatencyModel lat;
+  FlashDevice dev(ChanneledGeometry(4));
+  dev.BeginBatch();
+  dev.WritePage({0, 0}, UserSpare(1), 0, IoPurpose::kUserWrite);  // done 1000
+  dev.WritePage({1, 0}, UserSpare(2), 0, IoPurpose::kUserWrite);  // done 1000
+
+  FlashDevice::BatchResult r = dev.AdvanceTo(500);
+  EXPECT_EQ(r.ops, 0u);  // nothing due yet
+  EXPECT_DOUBLE_EQ(r.elapsed_us, 500.0);
+  EXPECT_TRUE(dev.in_batch());  // the window stays open across ticks
+
+  r = dev.AdvanceTo(1500);
+  EXPECT_EQ(r.ops, 2u);
+  EXPECT_DOUBLE_EQ(dev.now_us(), 1500.0);
+
+  FlashDevice::BatchResult end = dev.EndBatch();
+  EXPECT_EQ(end.ops, 0u);  // everything already retired by the ticks
+  EXPECT_FALSE(dev.in_batch());
+  EXPECT_DOUBLE_EQ(dev.stats().elapsed_us(), 1500.0);
+}
+
+TEST(DeviceBatchTest, OpScopesAttributeOpsToRequests) {
+  LatencyModel lat;
+  FlashDevice dev(ChanneledGeometry(4));
+  dev.BeginBatch();
+
+  // Request A: two writes on distinct channels, both complete at 1000.
+  dev.BeginOpScope();
+  dev.WritePage({0, 0}, UserSpare(1), 0, IoPurpose::kUserWrite);
+  dev.WritePage({1, 0}, UserSpare(2), 0, IoPurpose::kUserWrite);
+  FlashDevice::OpScope a = dev.EndOpScope();
+  EXPECT_EQ(a.ops, 2u);
+  EXPECT_DOUBLE_EQ(a.last_complete_us, lat.page_write_us);
+
+  // Request B: one write queued behind A's on channel 0 — its completion
+  // reflects the queueing delay even though the window never closed.
+  dev.BeginOpScope();
+  dev.WritePage({0, 1}, UserSpare(3), 0, IoPurpose::kUserWrite);
+  FlashDevice::OpScope b = dev.EndOpScope();
+  EXPECT_EQ(b.ops, 1u);
+  EXPECT_DOUBLE_EQ(b.last_complete_us, 2 * lat.page_write_us);
+
+  // A zero-op scope (fully cache-hit request) reports no completion.
+  dev.BeginOpScope();
+  FlashDevice::OpScope c = dev.EndOpScope();
+  EXPECT_EQ(c.ops, 0u);
+  EXPECT_DOUBLE_EQ(c.last_complete_us, 0.0);
+
+  dev.EndBatch();
+}
+
 TEST(DeviceBatchTest, DataEffectsAreVisibleInsideTheWindow) {
   FlashDevice dev(ChanneledGeometry(4));
   dev.BeginBatch();
