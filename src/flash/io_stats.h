@@ -173,6 +173,44 @@ class IoStats {
   /// Lifetime kQueueFull rejections.
   uint64_t host_queue_full() const { return host_queue_full_; }
 
+  // --- Translation-miss pipeline accounting (fed by the async engine) ----
+  // A "miss fetch" is one in-flight translation-page read servicing one or
+  // more parked read extents. The gauge counts distinct fetches in flight
+  // (== waiting-list entries), the coalesced counter counts extents that
+  // joined an already-in-flight fetch instead of issuing their own, and
+  // the stall histogram records each parked extent's park-to-replay time
+  // in device microseconds.
+
+  /// A translation-page fetch was issued for a parked miss.
+  void OnMissFetchIssued() {
+    ++miss_fetches_issued_;
+    uint32_t depth = ++miss_fetch_inflight_;
+    if (depth > miss_fetch_inflight_watermark_) {
+      miss_fetch_inflight_watermark_ = depth;
+    }
+  }
+  /// An in-flight miss fetch completed (or was aborted by a power failure).
+  void OnMissFetchDone() {
+    if (miss_fetch_inflight_ > 0) --miss_fetch_inflight_;
+  }
+  /// A missing extent coalesced onto an already-in-flight fetch.
+  void OnCoalescedMiss() { ++coalesced_misses_; }
+  /// A parked extent was replayed `us` device-microseconds after parking.
+  void OnMissStall(double us) { miss_stall_.Record(us); }
+
+  /// Distinct translation-page fetches currently in flight.
+  uint32_t miss_fetch_inflight() const { return miss_fetch_inflight_; }
+  /// Deepest the miss-fetch gauge ever got (lifetime watermark).
+  uint32_t miss_fetch_inflight_watermark() const {
+    return miss_fetch_inflight_watermark_;
+  }
+  /// Lifetime miss fetches issued.
+  uint64_t miss_fetches_issued() const { return miss_fetches_issued_; }
+  /// Lifetime extents that coalesced onto an in-flight fetch.
+  uint64_t coalesced_misses() const { return coalesced_misses_; }
+  /// Park-to-replay stall distribution of parked extents.
+  const LatencyHistogram& MissStall() const { return miss_stall_; }
+
   // --- Per-request latency histograms -----------------------------------
 
   /// Records one request's end-to-end latency (its batch window makespan).
@@ -228,6 +266,12 @@ class IoStats {
     host_inflight_watermark_ = host_inflight_;
     host_admissions_ = 0;
     host_queue_full_ = 0;
+    // miss_fetch_inflight_ is live pipeline state too (fetches issued
+    // before the Reset still complete after it).
+    miss_fetch_inflight_watermark_ = miss_fetch_inflight_;
+    miss_fetches_issued_ = 0;
+    coalesced_misses_ = 0;
+    miss_stall_.Reset();
     for (LatencyHistogram& h : request_latency_) h.Reset();
   }
 
@@ -244,6 +288,11 @@ class IoStats {
   uint32_t host_inflight_watermark_ = 0;
   uint64_t host_admissions_ = 0;
   uint64_t host_queue_full_ = 0;
+  uint32_t miss_fetch_inflight_ = 0;
+  uint32_t miss_fetch_inflight_watermark_ = 0;
+  uint64_t miss_fetches_issued_ = 0;
+  uint64_t coalesced_misses_ = 0;
+  LatencyHistogram miss_stall_;
   std::array<LatencyHistogram, kNumRequestClasses> request_latency_;
 };
 

@@ -1,5 +1,6 @@
 #include "ftl/async_engine.h"
 
+#include <cmath>
 #include <limits>
 
 #include "util/check.h"
@@ -108,8 +109,9 @@ void AsyncEngine::Dispatch(Inflight& r) {
     device_->BeginBatch();
     pipeline_open_ = true;
   }
+  MissSink sink;
   device_->BeginOpScope();
-  host_->ExecuteRequest(r.request, &r.result);
+  host_->ExecuteRequest(r.request, &r.result, &sink);
   FlashDevice::OpScope scope = device_->EndOpScope();
   r.flash_ops = scope.ops;
   // A request that touched no flash (e.g. a trim of never-written pages)
@@ -118,7 +120,81 @@ void AsyncEngine::Dispatch(Inflight& r) {
       scope.ops > 0 ? scope.last_complete_us : device_->now_us();
   r.dispatched = true;
   ++stats_.dispatched;
-  completion_heap_.push({r.complete_us, r.seq});
+  if (sink.parked.empty()) {
+    completion_heap_.push({r.complete_us, r.seq});
+  } else {
+    // Missed extents wait on their translation fetches; the request joins
+    // the completion heap only once the last of them has been replayed.
+    ParkMisses(r, sink);
+  }
+}
+
+void AsyncEngine::ParkMisses(Inflight& r, const MissSink& sink) {
+  for (const MissSink::ParkedMiss& miss : sink.parked) {
+    auto it = ongoing_fetches_.find(miss.tpage);
+    if (it == ongoing_fetches_.end()) {
+      // First miss of this translation page: issue the one coalesced
+      // fetch, in its own op scope (the dispatch scope has ended; scopes
+      // do not nest) so its device-time completion is captured.
+      device_->BeginOpScope();
+      host_->IssueMappingFetch(miss.tpage);
+      FlashDevice::OpScope scope = device_->EndOpScope();
+      double fetch_done_us =
+          scope.ops > 0 ? scope.last_complete_us : device_->now_us();
+      r.flash_ops += scope.ops;
+      it = ongoing_fetches_.emplace(miss.tpage, MappingFetch{}).first;
+      it->second.complete_us = fetch_done_us;
+      fetch_heap_.push({fetch_done_us, miss.tpage});
+      ++stats_.miss_fetches;
+      device_->stats().OnMissFetchIssued();
+    } else {
+      // A fetch of this page is already in flight: coalesce onto it.
+      ++stats_.miss_joins;
+      host_->NoteCoalescedMiss();
+      device_->stats().OnCoalescedMiss();
+    }
+    it->second.waiters.push_back(Waiter{r.seq, miss.extent, device_->now_us()});
+    ++r.unresolved;
+    ++stats_.parked_extents;
+  }
+}
+
+uint64_t AsyncEngine::ProcessDueFetches() {
+  uint64_t retired = 0;
+  while (!fetch_heap_.empty() &&
+         fetch_heap_.top().first <= device_->now_us()) {
+    const uint64_t tpage = fetch_heap_.top().second;
+    fetch_heap_.pop();
+    auto it = ongoing_fetches_.find(tpage);
+    GECKO_CHECK(it != ongoing_fetches_.end());
+    MappingFetch fetch = std::move(it->second);
+    // Erase before replaying: a replay must never observe (or join) a
+    // fetch that has already completed.
+    ongoing_fetches_.erase(it);
+    device_->stats().OnMissFetchDone();
+    for (const Waiter& w : fetch.waiters) {
+      auto rit = requests_.find(w.seq);
+      GECKO_CHECK(rit != requests_.end());
+      Inflight& r = rit->second;
+      // Replay in its own op scope: the data read is stamped *now*, after
+      // the fetch completed — the causality the old inline path violated.
+      device_->BeginOpScope();
+      host_->ResolveParkedExtent(r.request, &r.result, w.extent);
+      FlashDevice::OpScope scope = device_->EndOpScope();
+      r.flash_ops += scope.ops;
+      double done_us =
+          scope.ops > 0 ? scope.last_complete_us : device_->now_us();
+      if (done_us > r.complete_us) r.complete_us = done_us;
+      device_->stats().OnMissStall(device_->now_us() - w.park_us);
+      ++stats_.replayed_extents;
+      GECKO_CHECK_GT(r.unresolved, 0u);
+      if (--r.unresolved == 0) {
+        completion_heap_.push({r.complete_us, r.seq});
+      }
+    }
+    ++retired;
+  }
+  return retired;
 }
 
 void AsyncEngine::DispatchGrantableParked() {
@@ -168,32 +244,42 @@ uint64_t AsyncEngine::FireDueCompletions() {
 
 uint64_t AsyncEngine::Poll() {
   // Retire channel ops due at the current clock (a no-op if the host has
-  // already advanced the device), then harvest due request completions.
+  // already advanced the device), replay the parked extents of fetches
+  // that are now due — a replay with no flash work can make its request
+  // due immediately — then harvest due request completions.
   if (pipeline_open_) device_->AdvanceTo(device_->now_us());
+  ProcessDueFetches();
   return FireDueCompletions();
 }
 
 uint64_t AsyncEngine::DrainAll() {
-  uint64_t fired = 0;
-  while (!requests_.empty()) {
-    // Close the window: the barrier drain retires every parked op and
-    // advances the clock to the outstanding makespan, so every dispatched
-    // request is now due. Firing them may dispatch parked dependents,
-    // reopening the window — hence the loop.
-    if (pipeline_open_) {
-      device_->EndBatch();
-      pipeline_open_ = false;
-    }
+  if (!pipeline_open_) {
     GECKO_CHECK(!device_->in_batch())
         << "DrainAsync inside a caller-managed batch window";
-    uint64_t wave = FireDueCompletions();
-    GECKO_CHECK_GT(wave, 0u) << "async drain made no progress";
-    fired += wave;
+  }
+  // Event loop: hop the device clock to the next pending event — the
+  // earliest dispatched completion or due translation fetch — replay and
+  // fire, repeat. The engine window stays open throughout so replayed
+  // data reads keep overlapping with still-undue requests; an in-flight
+  // queue with no pending event would be a dependency deadlock, which the
+  // admission-order claim discipline makes impossible.
+  uint64_t fired = 0;
+  while (!requests_.empty()) {
+    double next_us = NextCompletionUs();
+    GECKO_CHECK(!std::isinf(next_us)) << "async drain made no progress";
+    device_->AdvanceTo(next_us);
+    ProcessDueFetches();
+    fired += FireDueCompletions();
   }
   if (pipeline_open_) {
+    // Every op submitted on behalf of a completed request retires at or
+    // before the request's completion, so the queues are already dry;
+    // EndBatch just closes the window without moving the clock.
     device_->EndBatch();
     pipeline_open_ = false;
   }
+  GECKO_CHECK(!device_->in_batch())
+      << "DrainAsync inside a caller-managed batch window";
   return fired;
 }
 
@@ -208,6 +294,17 @@ uint64_t AsyncEngine::AbortAll() {
   }
   completion_heap_ = {};
   key_claims_.clear();
+  // Translation fetches die with the power: their charged reads landed in
+  // the stats like any dispatched op, but the parked extents they were
+  // servicing never replay — each aborts with its request below. Zero the
+  // in-flight gauge fetch by fetch so it balances its Issued calls.
+  fetch_heap_ = {};
+  for (const auto& [tpage, fetch] : ongoing_fetches_) {
+    (void)tpage;
+    stats_.aborted_parked_extents += fetch.waiters.size();
+    device_->stats().OnMissFetchDone();
+  }
+  ongoing_fetches_.clear();
   std::map<uint64_t, Inflight> dying;
   dying.swap(requests_);
 
@@ -231,10 +328,16 @@ uint64_t AsyncEngine::AbortAll() {
 }
 
 double AsyncEngine::NextCompletionUs() const {
-  if (completion_heap_.empty()) {
-    return std::numeric_limits<double>::infinity();
+  // The next engine event is the earlier of the next dispatched-request
+  // completion and the next translation-fetch completion: open-loop
+  // drivers advance the clock to this instant, and a fetch's replays are
+  // what eventually make its requests complete.
+  double next_us = std::numeric_limits<double>::infinity();
+  if (!completion_heap_.empty()) next_us = completion_heap_.top().first;
+  if (!fetch_heap_.empty() && fetch_heap_.top().first < next_us) {
+    next_us = fetch_heap_.top().first;
   }
-  return completion_heap_.top().first;
+  return next_us;
 }
 
 }  // namespace gecko

@@ -14,13 +14,23 @@
 // Poll() retires channel ops due at the current clock and fires callbacks
 // in device-time completion order.
 //
+// Translation misses are asynchronous too: a read extent whose mapping
+// missed the cache does not stall its request on the translation-page
+// fetch. The host records it in a MissSink, the engine attaches it to the
+// (single) in-flight fetch of its translation page — issuing the fetch if
+// none is outstanding, coalescing onto it otherwise — and the rest of the
+// request, plus every independent request, keeps dispatching across
+// channels. When the device clock reaches the fetch's completion, the
+// parked extents are replayed (cache populated once, data reads stamped
+// at replay time) and the request completes only after its last replay.
+// This is the `ongoing_mapping_operations` + waiting-IO-list structure of
+// the EagleTree DFTL scheduler.
+//
 // Conflicting in-flight requests must not overlap: a write and a later
 // read of the same LPN (RAW), two writes of one LPN (WAW), or two
 // cache-overflowing batches committing the same translation page would
 // otherwise interleave their metadata updates. The engine serializes them
-// with per-key FIFO waiting lists — the same shape as the EagleTree DFTL
-// scheduler's `ongoing_mapping_operations`, where application IOs park
-// behind the in-flight mapping operation of their translation page. The
+// with per-key FIFO waiting lists. The
 // host computes each request's dependency keys (it knows LPN->translation-
 // page geometry and the cache state); the engine only runs the lock table:
 // a request dispatches when every key it claims is compatible with every
@@ -68,14 +78,50 @@ struct DepKey {
   }
 };
 
+/// Filled by the host while executing a request on the engine path: read
+/// extents whose mapping missed the cache and whose translation page must
+/// be fetched from flash. Instead of stalling the whole request on the
+/// fetch, the engine parks each such extent on its translation page's
+/// waiting list (one in-flight fetch per tpage; concurrent misses
+/// coalesce) and replays it when the fetch's device time is reached.
+struct MissSink {
+  struct ParkedMiss {
+    uint64_t tpage = 0;  // translation page the extent's mapping lives on
+    size_t extent = 0;   // index into request.extents / the result arrays
+  };
+  std::vector<ParkedMiss> parked;
+};
+
 /// What the engine needs from the FTL it runs inside.
 class AsyncHost {
  public:
   virtual ~AsyncHost() = default;
 
   /// Services one well-formed request synchronously (the engine opens the
-  /// batch window and the op scope around the call).
-  virtual void ExecuteRequest(IoRequest& request, IoResult* result) = 0;
+  /// batch window and the op scope around the call). When `miss_sink` is
+  /// non-null the host may defer read extents whose mapping missed the
+  /// cache by recording them in the sink instead of fetching inline; the
+  /// engine later issues one coalesced fetch per translation page and
+  /// replays each parked extent via ResolveParkedExtent.
+  virtual void ExecuteRequest(IoRequest& request, IoResult* result,
+                              MissSink* miss_sink) = 0;
+
+  /// Issues the charged flash read of translation page `tpage` that a
+  /// parked miss is waiting on. The engine brackets the call in its own
+  /// op scope to learn the fetch's device-time completion.
+  virtual void IssueMappingFetch(uint64_t tpage) = 0;
+
+  /// Replays one parked extent after its translation-page fetch completed:
+  /// resolves the mapping (cache first, then the now-fetched flash image),
+  /// populates the cache, performs the data read, and finalizes
+  /// `result->extent_status[extent]` / `result->payloads[extent]`.
+  virtual void ResolveParkedExtent(IoRequest& request, IoResult* result,
+                                   size_t extent) = 0;
+
+  /// A parked extent joined an already-in-flight fetch of its translation
+  /// page (the host counts the coalesced miss; the engine counts the
+  /// IoStats side).
+  virtual void NoteCoalescedMiss() = 0;
 
   /// The dependency keys `request` must hold while in flight. Called once
   /// at admission; every non-flush request should include a shared
@@ -92,6 +138,12 @@ struct AsyncEngineStats {
   uint64_t completed = 0;  // callbacks fired with a real completion
   uint64_t aborted = 0;    // in-flight requests killed by a power failure
   uint64_t queue_full = 0; // admissions refused at the in-flight cap
+  // Translation-miss pipeline:
+  uint64_t miss_fetches = 0;     // coalesced translation fetches issued
+  uint64_t miss_joins = 0;       // extents that joined an in-flight fetch
+  uint64_t parked_extents = 0;   // extents parked on fetch waiting lists
+  uint64_t replayed_extents = 0; // parked extents replayed after their fetch
+  uint64_t aborted_parked_extents = 0;  // parked extents killed by a crash
 };
 
 class AsyncEngine {
@@ -104,9 +156,11 @@ class AsyncEngine {
   /// See Ftl::Poll.
   uint64_t Poll();
 
-  /// See Ftl::DrainAsync. Closes the engine's batch window between waves
-  /// (a barrier drain advances the clock to the outstanding makespan), so
-  /// it must not be called inside a caller-managed batch window.
+  /// See Ftl::DrainAsync. Runs the event loop — advance the clock to the
+  /// next pending event (request completion or translation fetch), replay
+  /// due fetches, fire due completions — until nothing is in flight, then
+  /// closes the engine's batch window. Must not be called inside a
+  /// caller-managed batch window.
   uint64_t DrainAll();
 
   /// Power-failure path: every in-flight request's callback fires with
@@ -120,9 +174,16 @@ class AsyncEngine {
     return static_cast<uint32_t>(requests_.size());
   }
   bool idle() const { return requests_.empty(); }
-  /// Device time of the earliest pending dispatched completion
-  /// (+infinity when none).
+  /// Device time of the earliest pending engine event — a dispatched
+  /// request's completion or an in-flight translation fetch whose parked
+  /// extents must be replayed (+infinity when neither is pending).
   double NextCompletionUs() const;
+
+  /// Translation fetches currently in flight (waiting-list entries).
+  /// Tests assert this drains to zero after DrainAll/AbortAll.
+  uint32_t ongoing_fetch_count() const {
+    return static_cast<uint32_t>(ongoing_fetches_.size());
+  }
 
   uint32_t queue_depth() const { return queue_depth_; }
   const AsyncEngineStats& stats() const { return stats_; }
@@ -143,6 +204,21 @@ class AsyncEngine {
     double complete_us = 0;
     uint64_t flash_ops = 0;
     bool dispatched = false;
+    /// Extents parked on translation fetches and not yet replayed. The
+    /// request enters the completion heap only when this reaches zero.
+    uint32_t unresolved = 0;
+  };
+
+  /// One in-flight translation-page fetch and the extents parked on it —
+  /// the `ongoing_mapping_operations` map of the EagleTree DFTL scheduler.
+  struct Waiter {
+    uint64_t seq = 0;     // parked request
+    size_t extent = 0;    // parked extent within it
+    double park_us = 0;   // device clock at parking (stall accounting)
+  };
+  struct MappingFetch {
+    double complete_us = 0;  // device time the fetch's flash read retires
+    std::vector<Waiter> waiters;
   };
 
   /// A claim parked on one key's FIFO waiting list.
@@ -158,8 +234,16 @@ class AsyncEngine {
   void ReleaseKeys(const Inflight& r);
 
   /// Services `r` through the host inside the engine window, capturing
-  /// its device-time completion via the op scope.
+  /// its device-time completion via the op scope. Extents the host parked
+  /// in the miss sink are attached to their translation page's fetch
+  /// (issuing it if absent, coalescing otherwise) instead of completing.
   void Dispatch(Inflight& r);
+  /// Parks `r`'s missed extents onto their translation-page fetches.
+  void ParkMisses(Inflight& r, const MissSink& sink);
+  /// Replays the parked extents of every fetch due at the current clock,
+  /// moving fully-resolved requests onto the completion heap. Returns the
+  /// number of fetches retired.
+  uint64_t ProcessDueFetches();
   /// Dispatches, in admission order, every parked request whose keys
   /// became compatible.
   void DispatchGrantableParked();
@@ -175,11 +259,17 @@ class AsyncEngine {
   /// deterministic).
   std::map<uint64_t, Inflight> requests_;
   std::map<KeyId, std::deque<Claim>> key_claims_;
+  using EventHeap =
+      std::priority_queue<std::pair<double, uint64_t>,
+                          std::vector<std::pair<double, uint64_t>>,
+                          std::greater<std::pair<double, uint64_t>>>;
   /// Pending dispatched completions: min-heap on (complete_us, seq).
-  std::priority_queue<std::pair<double, uint64_t>,
-                      std::vector<std::pair<double, uint64_t>>,
-                      std::greater<std::pair<double, uint64_t>>>
-      completion_heap_;
+  EventHeap completion_heap_;
+  /// In-flight translation fetches keyed by tpage id: at most one fetch
+  /// per translation page is outstanding; later misses join its waiters.
+  std::map<uint64_t, MappingFetch> ongoing_fetches_;
+  /// Due-fetch events: min-heap on (complete_us, tpage).
+  EventHeap fetch_heap_;
   /// Whether the engine holds its long-lived device batch window open.
   bool pipeline_open_ = false;
   AsyncEngineStats stats_;

@@ -103,7 +103,10 @@ void BaseFtl::ServiceRequest(IoRequest& request, IoResult* result) {
       break;
     case IoOp::kRead:
       result->payloads.assign(n, 0);
-      if (n == 1) {
+      // With a miss sink armed, even single-extent reads take the batched
+      // path: parking is expressed per extent index, and the two paths
+      // charge the same one translation read per miss.
+      if (n == 1 && miss_sink_ == nullptr) {
         result->extent_status[0] = ReadOne(request.extents[0].lpn,
                                            &result->payloads[0]);
       } else {
@@ -219,6 +222,9 @@ Status BaseFtl::WriteExtent(Lpn lpn, uint64_t payload, bool tombstone,
     ++counters_.cache_misses;
     bool uip = true;
     if (!batched && config_.invalidation == InvalidationMode::kImmediate) {
+      if (translation_.Exists(translation_.TPageOf(lpn))) {
+        ++counters_.miss_fetches;  // the Lookup below reads the tpage
+      }
       // Baselines fetch the mapping from flash to identify the
       // before-image right away (one translation-page read on the write
       // path — the cost GeckoFTL's lazy scheme avoids). Batched requests
@@ -315,7 +321,17 @@ Status BaseFtl::ReadOne(Lpn lpn, uint64_t* payload) {
     ppa = entry->ppa;
   } else {
     ++counters_.cache_misses;
+    const TPageId tpage = translation_.TPageOf(lpn);
+    const bool fetched = translation_.Exists(tpage);
+    if (fetched) ++counters_.miss_fetches;
     ppa = translation_.Lookup(lpn, IoPurpose::kTranslation);
+    if (fetched && stall_on_miss_) {
+      // Synchronous-miss baseline: the data read may not issue until the
+      // fetch retires. The fetch is the newest op on its translation
+      // page's channel, so that channel's busy-until IS its completion.
+      device_->AdvanceTo(device_->ChannelBusyUntilUs(
+          device_->ChannelOf(translation_.Location(tpage).block)));
+    }
     if (!ppa.IsValid()) {
       return Status::NotFound("logical page never written");
     }
@@ -365,13 +381,42 @@ void BaseFtl::ReadBatch(const IoRequest& request, IoResult* result) {
   }
 
   for (auto& [tpage, group] : misses) {
+    const bool fetched = translation_.Exists(tpage);
+    if (!fetched) {
+      // Nothing to fetch: the translation page was never written, so
+      // every lpn on it is unmapped. Resolves identically on every path
+      // (in particular, parking such extents would be a wasted stall).
+      for (const Miss& m : group) {
+        result->extent_status[m.extent] =
+            Status::NotFound("logical page never written");
+      }
+      continue;
+    }
+    if (miss_sink_ != nullptr) {
+      // Engine path, async miss pipeline: park the whole group. The
+      // engine issues one coalesced fetch per translation page (across
+      // requests, not just within this one) and replays each extent via
+      // ResolveParkedExtent when the fetch's device time is reached.
+      for (const Miss& m : group) {
+        miss_sink_->parked.push_back(MissSink::ParkedMiss{tpage, m.extent});
+      }
+      continue;
+    }
+    // Synchronous miss path: one charged translation read serves the
+    // whole group — the first miss is the fetch, the rest coalesce.
+    ++counters_.miss_fetches;
+    counters_.miss_joins += group.size() - 1;
     std::vector<PhysicalAddress> mappings =
         translation_.ReadTPage(tpage, IoPurpose::kTranslation);
+    if (stall_on_miss_) {
+      // Synchronous-miss baseline: the group's data reads may not issue
+      // until the fetch retires (it is the newest op on its channel, so
+      // busy-until is its completion time).
+      device_->AdvanceTo(device_->ChannelBusyUntilUs(
+          device_->ChannelOf(translation_.Location(tpage).block)));
+    }
     for (const Miss& m : group) {
-      PhysicalAddress ppa =
-          mappings.empty()
-              ? kNullAddress
-              : mappings[m.lpn % translation_.entries_per_page()];
+      PhysicalAddress ppa = mappings[m.lpn % translation_.entries_per_page()];
       if (!ppa.IsValid()) {
         result->extent_status[m.extent] =
             Status::NotFound("logical page never written");
@@ -380,7 +425,7 @@ void BaseFtl::ReadBatch(const IoRequest& request, IoResult* result) {
       resolved[m.extent] = ppa;
       // An entry inserted for an earlier miss of the same lpn (duplicate
       // extents) must not be double-inserted.
-      if (cache_.Peek(m.lpn) == nullptr) {
+      if (!cache_.Contains(m.lpn)) {
         while (cache_.NeedsEviction()) EvictOne();
         cache_.Insert(m.lpn, MappingEntry{ppa, false, false, false});
         NoteCacheOp();
@@ -399,6 +444,50 @@ void BaseFtl::ReadBatch(const IoRequest& request, IoResult* result) {
     } else {
       result->payloads[i] = r.payload;
     }
+  }
+}
+
+void BaseFtl::IssueMappingFetch(uint64_t tpage) {
+  ++counters_.miss_fetches;
+  // One charged flash read pays for every extent parked on this
+  // translation page. The decoded image is discarded: data effects are
+  // synchronous in this simulator, so each replay peeks the then-current
+  // image instead of a snapshot (correct under concurrent GC migration
+  // and interleaved synchronizations of the page).
+  translation_.ReadTPage(static_cast<TPageId>(tpage), IoPurpose::kTranslation);
+}
+
+void BaseFtl::ResolveParkedExtent(IoRequest& request, IoResult* result,
+                                  size_t extent) {
+  const Lpn lpn = request.extents[extent].lpn;
+  PhysicalAddress ppa;
+  MappingEntry* entry = cache_.Find(lpn);
+  if (entry != nullptr) {
+    // An interleaved request, a replay of an earlier waiter, or a GC
+    // migration repopulated the entry while we were parked; it is
+    // authoritative (the parked request's shared lpn claim blocks every
+    // write/trim of this lpn, so no newer version can be missed).
+    ppa = entry->ppa;
+  } else {
+    ppa = translation_.PeekMapping(lpn);
+    if (ppa.IsValid()) {
+      while (cache_.NeedsEviction()) EvictOne();
+      cache_.InsertIfAbsent(lpn, MappingEntry{ppa, false, false, false});
+      NoteCacheOp();
+    }
+  }
+  if (!ppa.IsValid()) {
+    result->extent_status[extent] =
+        Status::NotFound("logical page never written");
+    return;
+  }
+  PageReadResult r = device_->ReadPage(ppa, IoPurpose::kUserRead);
+  GECKO_CHECK(r.written) << "mapping points to unwritten page";
+  GECKO_CHECK_EQ(r.spare.key, lpn) << "mapping points to wrong logical page";
+  if (r.spare.tombstone) {
+    result->extent_status[extent] = Status::NotFound("logical page trimmed");
+  } else {
+    result->payloads[extent] = r.payload;
   }
 }
 

@@ -173,9 +173,39 @@ class BaseFtl : public Ftl, private MaintenanceHost, private AsyncHost {
 
   // --- AsyncHost (the engine's view of this FTL) ------------------------
 
-  void ExecuteRequest(IoRequest& request, IoResult* result) override {
+  /// Engine-path execution. With FtlConfig::async_miss_fetch (the
+  /// default), read extents whose mapping missed the cache are recorded
+  /// in `miss_sink` for the engine to park instead of being fetched
+  /// inline. With it off — the synchronous-miss baseline — each miss
+  /// fetches inline and additionally stalls the device clock to the
+  /// fetch's completion, so the data read (and everything dispatched
+  /// after it) serializes behind the mapping store, which is what a
+  /// blocking fetch costs on real hardware.
+  void ExecuteRequest(IoRequest& request, IoResult* result,
+                      MissSink* miss_sink) override {
+    GECKO_CHECK(miss_sink_ == nullptr && !stall_on_miss_)
+        << "re-entrant engine execution";
+    miss_sink_ = config_.async_miss_fetch ? miss_sink : nullptr;
+    stall_on_miss_ = !config_.async_miss_fetch;
     ServiceRequest(request, result);
+    miss_sink_ = nullptr;
+    stall_on_miss_ = false;
   }
+
+  /// Issues the charged translation-page read behind one coalesced miss
+  /// fetch (the result is discarded: replays read the then-current image
+  /// through TranslationTable::PeekMapping, which also stays correct when
+  /// GC migrates the page while the fetch is in flight).
+  void IssueMappingFetch(uint64_t tpage) override;
+
+  /// Replays one parked read extent after its fetch completed: mapping
+  /// from the cache if an interleaved request or GC already (re)populated
+  /// it, else from the fetched flash image; cache fill once; data read
+  /// stamped at replay time.
+  void ResolveParkedExtent(IoRequest& request, IoResult* result,
+                           size_t extent) override;
+
+  void NoteCoalescedMiss() override { ++counters_.miss_joins; }
 
   /// Dependency keys of one request: exclusive per-LPN claims for writes
   /// and trims, shared for reads; shared translation-page claims for
@@ -201,7 +231,10 @@ class BaseFtl : public Ftl, private MaintenanceHost, private AsyncHost {
   void WriteBatch(const IoRequest& request, IoResult* result, bool trim);
 
   /// Batched read: cache hits resolve directly; misses share one
-  /// translation-page read per touched translation page.
+  /// translation-page read per touched translation page. On the engine
+  /// path with async_miss_fetch, missed extents are parked in the miss
+  /// sink instead (never-written translation pages short-circuit to
+  /// NotFound without parking — there is nothing to fetch).
   void ReadBatch(const IoRequest& request, IoResult* result);
 
   /// kFlush: synchronizes every dirty cached entry (grouped per
@@ -335,6 +368,12 @@ class BaseFtl : public Ftl, private MaintenanceHost, private AsyncHost {
   /// one; FlushPendingInvalid submits the batch.
   bool defer_invalid_reports_ = false;
   std::vector<PhysicalAddress> pending_invalid_;
+  /// Non-null only while ExecuteRequest services an engine-path request
+  /// with async miss fetching: the read path parks misses here.
+  MissSink* miss_sink_ = nullptr;
+  /// Engine path with async_miss_fetch off: read-miss fetches stall the
+  /// device clock to their completion (the synchronous-miss baseline).
+  bool stall_on_miss_ = false;
   /// Saved translation-page versions from the last RecoverGmd call, used
   /// by GeckoFTL's buffer recovery diffing.
   std::vector<TranslationTable::TPageVersions> recovered_versions_;

@@ -41,7 +41,22 @@ struct FtlCounters {
   uint64_t gc_force_skips = 0;    // ForceGc calls refused (GC re-entrancy)
   uint64_t uip_detections = 0;    // invalid pages caught by the GC UIP check
   uint64_t cache_hits = 0;        // mapping-cache hits
-  uint64_t cache_misses = 0;      // mapping-cache misses
+  uint64_t cache_misses = 0;      // mapping-cache misses (all of them)
+  /// Breakdown of cache_misses by how the mapping was obtained:
+  ///   miss_fetches — misses that performed (or triggered) a translation-
+  ///                  page flash read: the first miss of each
+  ///                  translation-page group in a batched read, the miss
+  ///                  that launches an async fetch, and immediate-mode
+  ///                  write-miss lookups;
+  ///   miss_joins   — coalesced misses that rode an existing fetch: later
+  ///                  misses of the same group in a batched read, and
+  ///                  extents parked onto an already-in-flight async
+  ///                  fetch of their translation page.
+  /// Lazy-mode write misses fetch nothing and count in neither bucket, so
+  /// cache_misses >= miss_fetches + miss_joins always holds (with
+  /// equality on read-only workloads).
+  uint64_t miss_fetches = 0;
+  uint64_t miss_joins = 0;
 };
 
 /// Device-time timeline of one completed async request, delivered to its

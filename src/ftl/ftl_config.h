@@ -87,6 +87,17 @@ struct FtlConfig {
   /// (waiting on a dependency) count against the cap.
   uint32_t async_queue_depth = 32;
 
+  /// Non-blocking translation-miss pipeline (async path only). When true,
+  /// a read extent whose lpn misses the mapping cache is parked on a
+  /// per-translation-page waiting list while its translation page is
+  /// fetched: concurrent misses to the same page coalesce into one flash
+  /// read, and hit extents plus independent requests keep dispatching
+  /// across channels meanwhile. When false, the miss is serviced
+  /// synchronously — the device clock stalls at the fetch's completion
+  /// before the data read is issued, serializing the pipeline on the
+  /// mapping store (the baseline bench_miss_overlap measures against).
+  bool async_miss_fetch = true;
+
   /// Maximum number of dirty entries allowed in the cache, as a fraction
   /// of cache_capacity. 0 disables the cap. LazyFTL/IB-FTL use 0.1
   /// (Section 5.3); GeckoFTL and battery-backed FTLs are uncapped.

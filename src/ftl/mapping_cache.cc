@@ -35,6 +35,13 @@ MappingEntry* MappingCache::Insert(Lpn lpn, const MappingEntry& entry) {
   return &it->second.entry;
 }
 
+MappingEntry* MappingCache::InsertIfAbsent(Lpn lpn,
+                                           const MappingEntry& entry) {
+  auto it = entries_.find(lpn);
+  if (it != entries_.end()) return &it->second.entry;
+  return Insert(lpn, entry);
+}
+
 Lpn MappingCache::PeekLru() const {
   GECKO_CHECK(!lru_.empty()) << "PeekLru on empty cache";
   return lru_.front();

@@ -53,9 +53,20 @@ class MappingCache {
   /// inspects the cache rather than using it).
   const MappingEntry* Peek(Lpn lpn) const;
 
+  /// Whether `lpn` is cached, without touching recency.
+  bool Contains(Lpn lpn) const { return Peek(lpn) != nullptr; }
+
   /// Inserts a new entry at MRU. The caller must have made room first
   /// (while NeedsEviction(): evict). Aborts if `lpn` is already present.
   MappingEntry* Insert(Lpn lpn, const MappingEntry& entry);
+
+  /// Insert that tolerates the entry already being present: returns the
+  /// existing entry untouched (no recency refresh, no overwrite) when
+  /// `lpn` is cached, otherwise inserts at MRU like Insert. Used by batched
+  /// and replayed miss fills, where an earlier extent of the same group
+  /// (or an interleaved request) may have populated the lpn already. The
+  /// caller must still have made room first when the lpn is absent.
+  MappingEntry* InsertIfAbsent(Lpn lpn, const MappingEntry& entry);
 
   bool NeedsEviction() const { return entries_.size() >= capacity_; }
 

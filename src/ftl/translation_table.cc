@@ -28,6 +28,15 @@ PhysicalAddress TranslationTable::Lookup(Lpn lpn, IoPurpose purpose) {
   return mappings[lpn % entries_per_page_];
 }
 
+PhysicalAddress TranslationTable::PeekMapping(Lpn lpn) const {
+  TPageId t = TPageOf(lpn);
+  if (!gmd_[t].IsValid()) return kNullAddress;
+  auto it = images_.find(device_->FlatIndex(gmd_[t]));
+  GECKO_CHECK(it != images_.end())
+      << "no translation page at " << gmd_[t].ToString();
+  return it->second.mappings[lpn % entries_per_page_];
+}
+
 PhysicalAddress TranslationTable::CommitTPage(
     TPageId t, std::vector<PhysicalAddress> mappings, IoPurpose purpose) {
   GECKO_CHECK_LT(t, num_tpages_);

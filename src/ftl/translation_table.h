@@ -42,14 +42,23 @@ class TranslationTable {
   PhysicalAddress Location(TPageId t) const { return gmd_[t]; }
 
   /// Reads translation page `t` from flash (one charged page read) and
-  /// returns its mapping array (entries_per_page entries; unmapped slots
-  /// are kNullAddress). If the page was never written, returns an empty
-  /// array without IO.
+  /// returns its mapping array (always entries_per_page entries; unmapped
+  /// slots are kNullAddress). If the page was never written, returns an
+  /// all-kNullAddress array without performing any IO.
   std::vector<PhysicalAddress> ReadTPage(TPageId t, IoPurpose purpose);
 
   /// Single-entry lookup: one charged page read (or none if the
   /// translation page does not exist). Returns kNullAddress if unmapped.
   PhysicalAddress Lookup(Lpn lpn, IoPurpose purpose);
+
+  /// Uncharged single-entry lookup against the current flash image: no
+  /// device IO, no latency. Used to replay a parked miss whose charged
+  /// translation-page read was already issued when its fetch was launched
+  /// — by replay time the fetch has been paid for, and reading the
+  /// *current* image (rather than a snapshot from issue time) is exactly
+  /// right, since GC may have migrated the page meanwhile. Returns
+  /// kNullAddress if unmapped or the translation page does not exist.
+  PhysicalAddress PeekMapping(Lpn lpn) const;
 
   /// Writes a new version of translation page `t` (one charged page
   /// write), updates the GMD, invalidates the previous version through the

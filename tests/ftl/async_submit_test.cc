@@ -416,6 +416,120 @@ TEST_P(AsyncSubmitTest, CrashChurnWithRequestsInFlightStaysSound) {
   }
 }
 
+TEST_P(AsyncSubmitTest, CrashWithParkedMissesAbortsEveryWaiter) {
+  FlashDevice device(Geo());
+  auto ftl = MakeFtl(FtlName(), &device, 4,
+                     [](FtlConfig& c) { c.async_queue_depth = 16; });
+  // Populate translation pages 0 and 1 (512-byte pages: 128 entries per
+  // tpage), then fill the 4-entry cache with tpage-1 mappings so reads of
+  // lpns 0..4 all miss.
+  for (Lpn l = 0; l < 8; ++l) ASSERT_TRUE(ftl->Write(l, 4000 + l).ok());
+  for (Lpn l = 128; l < 132; ++l) ASSERT_TRUE(ftl->Write(l, 4000 + l).ok());
+  ASSERT_TRUE(ftl->Flush().ok());
+  for (Lpn l = 128; l < 132; ++l) {
+    uint64_t got = 0;
+    ASSERT_TRUE(ftl->Read(l, &got).ok());
+  }
+
+  std::vector<Fired> fired;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ftl->SubmitAsync(IoRequest::Read({static_cast<Lpn>(i)}),
+                                 Recorder(&fired, i))
+                    .ok());
+  }
+  // All five parked on the single in-flight fetch of tpage 0.
+  EXPECT_EQ(EngineOf(ftl.get()).ongoing_fetch_count(), 1u);
+  EXPECT_EQ(device.stats().miss_fetch_inflight(), 1u);
+  const uint64_t aborted_parked_before =
+      EngineOf(ftl.get()).stats().aborted_parked_extents;
+
+  RecoveryReport report = ftl->CrashAndRecover();
+  EXPECT_FALSE(report.steps.empty());
+
+  // Every parked extent's request aborted exactly once, the waiting list
+  // leaked nothing, and the in-flight fetch gauge is balanced.
+  ASSERT_EQ(fired.size(), 5u);
+  for (const Fired& f : fired) {
+    EXPECT_EQ(f.status.code(), StatusCode::kAborted);
+    EXPECT_EQ(f.complete_us, 0.0);
+  }
+  EXPECT_EQ(ftl->InFlightRequests(), 0u);
+  EXPECT_EQ(EngineOf(ftl.get()).ongoing_fetch_count(), 0u);
+  EXPECT_EQ(device.stats().miss_fetch_inflight(), 0u);
+  EXPECT_EQ(EngineOf(ftl.get()).stats().aborted_parked_extents,
+            aborted_parked_before + 5);
+
+  // Recovery serves the same data — reads are stateless, so every lpn
+  // still returns its pre-crash token, through the (now empty) cache.
+  for (Lpn l = 0; l < 8; ++l) {
+    uint64_t got = 0;
+    ASSERT_TRUE(ftl->Read(l, &got).ok()) << "lpn " << l;
+    EXPECT_EQ(got, 4000u + l);
+  }
+  // And the miss pipeline works again after the abort path ran.
+  std::vector<Fired> after;
+  ASSERT_TRUE(ftl->SubmitAsync(IoRequest::Read({0}), Recorder(&after, 0)).ok());
+  ASSERT_EQ(ftl->DrainAsync(), 1u);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0].payloads[0], 4000u);
+}
+
+TEST_P(AsyncSubmitTest, CrashChurnDuringMissFetchesKeepsGaugesClean) {
+  // Randomized crash points with misses in flight: bursts of cache-
+  // starved reads are cut short at a random submission, sometimes crashed
+  // mid-flight and sometimes after a drain. Every callback fires exactly
+  // once (kAborted or success), no waiting-list entry or gauge tick
+  // leaks, and recovery always serves the original data.
+  FlashDevice device(Geo());
+  auto ftl = MakeFtl(FtlName(), &device, 4,
+                     [](FtlConfig& c) { c.async_queue_depth = 8; });
+  const Lpn kDataSpan = 256;  // translation pages 0 and 1
+  for (Lpn l = 0; l < kDataSpan; ++l) {
+    ASSERT_TRUE(ftl->Write(l, 7000 + l).ok());
+  }
+  ASSERT_TRUE(ftl->Flush().ok());
+
+  Rng rng(977);
+  for (int round = 0; round < 6; ++round) {
+    int submitted = 0;
+    int observed = 0;
+    int n = 1 + static_cast<int>(rng.Uniform(8));
+    for (int i = 0; i < n; ++i) {
+      Lpn lpn = static_cast<Lpn>(rng.Uniform(kDataSpan));
+      Status s = ftl->SubmitAsync(
+          IoRequest::Read({lpn}),
+          [&observed, lpn](const IoResult& result, const AsyncCompletion&) {
+            ++observed;
+            if (result.status.code() == StatusCode::kAborted) return;
+            ASSERT_TRUE(result.status.ok());
+            ASSERT_EQ(result.payloads.size(), 1u);
+            EXPECT_EQ(result.payloads[0], 7000u + lpn);
+          });
+      if (s.code() == StatusCode::kQueueFull) break;
+      ASSERT_TRUE(s.ok()) << s.ToString();
+      ++submitted;
+      if (rng.Uniform(4) == 0) break;  // random crash point mid-burst
+    }
+    if (rng.Uniform(2) == 0) ftl->DrainAsync();  // sometimes crash idle
+    ftl->CrashAndRecover();
+    EXPECT_EQ(observed, submitted) << "round " << round;
+    EXPECT_EQ(ftl->InFlightRequests(), 0u);
+    EXPECT_EQ(EngineOf(ftl.get()).ongoing_fetch_count(), 0u);
+    EXPECT_EQ(device.stats().miss_fetch_inflight(), 0u);
+  }
+
+  for (Lpn l = 0; l < kDataSpan; ++l) {
+    uint64_t got = 0;
+    ASSERT_TRUE(ftl->Read(l, &got).ok()) << "lpn " << l;
+    EXPECT_EQ(got, 7000u + l) << "lpn " << l;
+  }
+  // Lifetime conservation: every parked extent was replayed or aborted.
+  const AsyncEngineStats& es = EngineOf(ftl.get()).stats();
+  EXPECT_EQ(es.parked_extents,
+            es.replayed_extents + es.aborted_parked_extents);
+  EXPECT_GT(es.parked_extents, 0u);
+}
+
 GECKO_INSTANTIATE_CHANNEL_FTL_SUITE(AsyncSubmitTest);
 
 }  // namespace

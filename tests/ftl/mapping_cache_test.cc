@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/ftl/ftl_test_util.h"
+
 namespace gecko {
 namespace {
 
@@ -146,6 +148,76 @@ TEST(MappingCacheTest, LruToMruOrderIsComplete) {
   ASSERT_EQ(order.size(), 2u);
   EXPECT_EQ(order[0], 6u);
   EXPECT_EQ(order[1], 5u);
+}
+
+TEST(MappingCacheTest, ContainsDoesNotTouchLru) {
+  MappingCache cache(3);
+  cache.Insert(1, E(1));
+  cache.Insert(2, E(2));
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(9));
+  // Contains is a Peek: lpn 1 is still the LRU victim.
+  EXPECT_EQ(cache.PeekLru(), 1u);
+}
+
+TEST(MappingCacheTest, InsertIfAbsentKeepsExistingEntryUntouched) {
+  MappingCache cache(3);
+  cache.Insert(1, E(1, /*dirty=*/true));
+  MappingEntry* e = cache.InsertIfAbsent(1, E(9));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->ppa.block, 1u);  // existing entry wins: no overwrite
+  EXPECT_TRUE(e->dirty);
+  EXPECT_EQ(cache.dirty_count(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  MappingEntry* f = cache.InsertIfAbsent(2, E(2));
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->ppa.block, 2u);  // absent: inserted like Insert
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(MappingCacheTest, InsertIfAbsentDoesNotRefreshRecency) {
+  MappingCache cache(3);
+  cache.Insert(1, E(1));
+  cache.Insert(2, E(2));
+  cache.InsertIfAbsent(1, E(9));
+  // The present-entry path is recency-neutral: 1 is still the victim.
+  EXPECT_EQ(cache.PeekLru(), 1u);
+}
+
+// The FtlCounters::cache_misses split: a batched read with N misses on
+// one translation page performs one fetch (miss_fetches) and N-1
+// coalesced joins (miss_joins), and on a read-only workload over written
+// translation pages the split is exhaustive.
+TEST(MappingCacheMissSplitTest, BatchedReadSplitsFetchesFromJoins) {
+  FlashDevice device(FtlTestGeometry());
+  auto ftl = MakeFtl("DFTL", &device, 4);
+  // Populate tpages 0 and 1, then fill the 4-entry cache with tpage-1
+  // mappings so lpns 0..5 all miss.
+  for (Lpn l = 0; l < 8; ++l) ASSERT_TRUE(ftl->Write(l, 100 + l).ok());
+  for (Lpn l = 128; l < 132; ++l) ASSERT_TRUE(ftl->Write(l, 100 + l).ok());
+  ASSERT_TRUE(ftl->Flush().ok());
+  for (Lpn l = 128; l < 132; ++l) {
+    uint64_t got = 0;
+    ASSERT_TRUE(ftl->Read(l, &got).ok());
+  }
+
+  const FtlCounters before = ftl->counters();
+  IoRequest request = IoRequest::Read({0, 1, 2, 3, 4, 5});
+  IoResult result;
+  ASSERT_TRUE(ftl->Submit(request, &result).ok());
+  ASSERT_TRUE(result.AllOk());
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(result.payloads[i], 100u + i);
+
+  const FtlCounters& after = ftl->counters();
+  EXPECT_EQ(after.cache_misses, before.cache_misses + 6);
+  EXPECT_EQ(after.miss_fetches, before.miss_fetches + 1);
+  EXPECT_EQ(after.miss_joins, before.miss_joins + 5);
+  // The split is exhaustive here: every one of the six misses either
+  // fetched or joined.
+  EXPECT_EQ(after.cache_misses - before.cache_misses,
+            (after.miss_fetches - before.miss_fetches) +
+                (after.miss_joins - before.miss_joins));
 }
 
 TEST(MappingCacheDeathTest, DoubleInsertAborts) {
