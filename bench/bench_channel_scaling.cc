@@ -10,8 +10,13 @@
 // accounting; speedups saturate when per-channel work (GC, metadata
 // read-modify-writes serialized on one stream) starts to dominate.
 
+//
+// Flags: --json P write machine-readable results to path P
+
+#include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "ftl/baseline_ftls.h"
@@ -85,9 +90,59 @@ RunResult RunOne(const std::string& name, const Trace& trace,
   return r;
 }
 
+struct SweepRow {
+  std::string ftl;
+  uint32_t channels = 0;
+  RunResult result;
+  double speedup = 1.0;  // elapsed vs the same FTL's 1-channel run
+};
+
+void WriteJson(const char* path, const std::vector<SweepRow>& rows,
+               const std::vector<std::pair<std::string, double>>& gates) {
+  std::FILE* f = std::fopen(path, "w");
+  GECKO_CHECK(f != nullptr) << "cannot open " << path;
+  std::fprintf(f, "{\n  \"bench\": \"channel_scaling\",\n");
+  std::fprintf(f, "  \"span_lpns\": %llu,\n  \"batch\": %u,\n",
+               static_cast<unsigned long long>(kSpan), kBatch);
+  std::fprintf(f, "  \"update_extents\": %llu,\n",
+               static_cast<unsigned long long>(kOps));
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"ftl\": \"%s\", \"channels\": %u, \"elapsed_ms\": %.3f, "
+        "\"kpages_per_sec\": %.3f, \"speedup_vs_1ch\": %.3f, "
+        "\"mean_utilization\": %.3f, \"max_queue_depth\": %u}%s\n",
+        r.ftl.c_str(), r.channels, r.result.elapsed_us / 1000.0,
+        r.result.kpages_per_sec, r.speedup,
+        r.result.channels.MeanUtilization(),
+        r.result.channels.max_queue_depth, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"gates\": [\n");
+  for (size_t i = 0; i < gates.size(); ++i) {
+    std::fprintf(f, "    {\"ftl\": \"%s\", \"speedup_8ch\": %.3f, "
+                    "\"pass\": %s}%s\n",
+                 gates[i].first.c_str(), gates[i].second,
+                 gates[i].second >= 3.0 ? "true" : "false",
+                 i + 1 < gates.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
   PrintHeader(
       "Channel scaling: simulated throughput vs channel count (1 -> 16)",
       "with channel-striped allocation and per-request batch windows, "
@@ -106,21 +161,26 @@ int main() {
                       "mean util", "max qdepth"});
   bool all_pass = true;
   double speedup8[5] = {0};
+  std::vector<SweepRow> rows;
   int ftl_index = 0;
   for (const char* name : kFtls) {
     double base_elapsed = 0;
     for (uint32_t channels : kChannelCounts) {
-      RunResult r = RunOne(name, trace, channels);
-      if (channels == 1) base_elapsed = r.elapsed_us;
-      double speedup = base_elapsed / r.elapsed_us;
-      if (channels == 8) speedup8[ftl_index] = speedup;
+      SweepRow row;
+      row.ftl = name;
+      row.channels = channels;
+      row.result = RunOne(name, trace, channels);
+      if (channels == 1) base_elapsed = row.result.elapsed_us;
+      row.speedup = base_elapsed / row.result.elapsed_us;
+      if (channels == 8) speedup8[ftl_index] = row.speedup;
       table.AddRow({name, TablePrinter::Fmt(static_cast<int>(channels)),
-                    TablePrinter::Fmt(r.elapsed_us / 1000.0, 1),
-                    TablePrinter::Fmt(r.kpages_per_sec, 1),
-                    TablePrinter::Fmt(speedup, 2),
-                    TablePrinter::Fmt(r.channels.MeanUtilization(), 2),
-                    TablePrinter::Fmt(
-                        static_cast<int>(r.channels.max_queue_depth))});
+                    TablePrinter::Fmt(row.result.elapsed_us / 1000.0, 1),
+                    TablePrinter::Fmt(row.result.kpages_per_sec, 1),
+                    TablePrinter::Fmt(row.speedup, 2),
+                    TablePrinter::Fmt(row.result.channels.MeanUtilization(), 2),
+                    TablePrinter::Fmt(static_cast<int>(
+                        row.result.channels.max_queue_depth))});
+      rows.push_back(std::move(row));
     }
     ++ftl_index;
   }
@@ -134,6 +194,7 @@ int main() {
                 static_cast<unsigned long long>(gecko8.channels.ops[c]));
   }
 
+  std::vector<std::pair<std::string, double>> gates;
   ftl_index = 0;
   for (const char* name : kFtls) {
     bool ok = speedup8[ftl_index] >= 3.0;
@@ -141,7 +202,9 @@ int main() {
     PrintCheck(ok, std::string(name) + ": " +
                        TablePrinter::Fmt(speedup8[ftl_index], 2) +
                        "x throughput at 8 channels vs 1");
+    gates.emplace_back(name, speedup8[ftl_index]);
     ++ftl_index;
   }
+  if (json_path != nullptr) WriteJson(json_path, rows, gates);
   return all_pass ? 0 : 1;
 }

@@ -17,7 +17,13 @@
 // plane cuts p99 user-write latency by >= 3x while keeping steady-state
 // throughput within 10% of the foreground-only baseline.
 
+//
+// Flags: --json P write machine-readable results to path P
+
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "ftl/gecko_ftl.h"
@@ -95,9 +101,62 @@ ModeResult RunMode(uint32_t channels, bool incremental, uint64_t seed) {
   return result;
 }
 
+struct ModeRow {
+  uint32_t channels = 0;
+  bool incremental = false;
+  ModeResult result;
+};
+
+void WriteJson(const char* path, const std::vector<ModeRow>& rows,
+               double p99_ratio_at_8, double throughput_delta_at_8) {
+  std::FILE* f = std::fopen(path, "w");
+  GECKO_CHECK(f != nullptr) << "cannot open " << path;
+  std::fprintf(f, "{\n  \"bench\": \"gc_latency\",\n  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ModeRow& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"channels\": %u, \"mode\": \"%s\", \"p50_us\": %.1f, "
+        "\"p95_us\": %.1f, \"p99_us\": %.1f, \"max_us\": %.1f, "
+        "\"throughput_kops\": %.3f, \"write_amplification\": %.3f, "
+        "\"background_steps\": %llu, \"maint_p95_us\": %.1f, "
+        "\"throttled_steps\": %llu, \"emergency_stalls\": %llu}%s\n",
+        r.channels, r.incremental ? "incremental" : "foreground",
+        r.result.latency.p50_us, r.result.latency.p95_us,
+        r.result.latency.p99_us, r.result.latency.max_us,
+        r.result.latency.throughput_kops, r.result.wa,
+        static_cast<unsigned long long>(r.result.latency.background_steps),
+        r.result.maint_p95_us,
+        static_cast<unsigned long long>(r.result.maintenance.throttled_steps),
+        static_cast<unsigned long long>(r.result.maintenance.emergency_stalls),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"gates\": [\n");
+  std::fprintf(f,
+               "    {\"name\": \"p99_ratio_at_8ch\", \"value\": %.3f, "
+               "\"threshold\": 3.0, \"pass\": %s},\n",
+               p99_ratio_at_8, p99_ratio_at_8 >= 3.0 ? "true" : "false");
+  std::fprintf(f,
+               "    {\"name\": \"throughput_delta_at_8ch\", \"value\": %.4f, "
+               "\"threshold\": -0.10, \"pass\": %s}\n",
+               throughput_delta_at_8,
+               throughput_delta_at_8 >= -0.10 ? "true" : "false");
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
 }  // namespace
 
-int Main() {
+int Main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
   PrintHeader(
       "GC tail latency: foreground-only vs incremental maintenance plane",
       "incremental, parallelism-aware collection turns channel bandwidth "
@@ -109,9 +168,12 @@ int Main() {
                       "maint p95", "throttled", "stalls"});
   double p99_ratio_at_8 = 0;
   double throughput_delta_at_8 = 0;
+  std::vector<ModeRow> rows;
   for (uint32_t channels : {1u, 4u, 8u}) {
     ModeResult fg = RunMode(channels, /*incremental=*/false, 42);
     ModeResult inc = RunMode(channels, /*incremental=*/true, 42);
+    rows.push_back({channels, false, fg});
+    rows.push_back({channels, true, inc});
     for (const auto* r : {&fg, &inc}) {
       table.AddRow({TablePrinter::Fmt(uint64_t{channels}),
                     r == &fg ? "foreground" : "incremental",
@@ -153,10 +215,13 @@ int Main() {
   PrintCheck(throughput_ok,
              "steady-state throughput stays within 10% of the "
              "foreground-only baseline");
+  if (json_path != nullptr) {
+    WriteJson(json_path, rows, p99_ratio_at_8, throughput_delta_at_8);
+  }
   return latency_ok && throughput_ok ? 0 : 1;
 }
 
 }  // namespace bench
 }  // namespace gecko
 
-int main() { return gecko::bench::Main(); }
+int main(int argc, char** argv) { return gecko::bench::Main(argc, argv); }

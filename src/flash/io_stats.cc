@@ -64,6 +64,31 @@ IoCounters IoCounters::operator-(const IoCounters& other) const {
   return out;
 }
 
+IoCounters& IoCounters::operator+=(const IoCounters& other) {
+  for (int i = 0; i < kNumIoPurposes; ++i) {
+    page_reads[i] += other.page_reads[i];
+    page_writes[i] += other.page_writes[i];
+    spare_reads[i] += other.spare_reads[i];
+    erases[i] += other.erases[i];
+  }
+  logical_writes += other.logical_writes;
+  logical_reads += other.logical_reads;
+  logical_trims += other.logical_trims;
+  return *this;
+}
+
+void AggregateIoView::Absorb(const IoStats& stats) {
+  counters += stats.counters();
+  elapsed_us = std::max(elapsed_us, stats.elapsed_us());
+  submissions += stats.total_submissions();
+  max_queue_depth = std::max(max_queue_depth, stats.max_queue_depth());
+  host_admissions += stats.host_admissions();
+  for (int c = 0; c < kNumRequestClasses; ++c) {
+    request_latency[c].Merge(
+        stats.RequestLatency(static_cast<RequestClass>(c)));
+  }
+}
+
 double IoCounters::WriteAmplification(double delta) const {
   if (logical_writes == 0) return 0.0;
   double internal = static_cast<double>(InternalWrites()) +

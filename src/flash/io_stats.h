@@ -84,6 +84,8 @@ struct IoCounters {
   }
 
   IoCounters operator-(const IoCounters& other) const;
+  /// Element-wise accumulation (merging per-shard device views).
+  IoCounters& operator+=(const IoCounters& other);
 
   /// Write-amplification as defined in Section 5:
   ///   WA = (i_writes + i_reads / delta) / logical_writes
@@ -94,6 +96,24 @@ struct IoCounters {
   double WriteAmplificationFor(IoPurpose p, double delta) const;
 
   std::string DebugString() const;
+};
+
+/// Merged read-only view over the IoStats of several devices — the
+/// aggregate a sharded front end reports when each LPN shard owns a
+/// private FlashDevice (ftl/sharded_ftl.h). Operation counts add;
+/// simulated time takes the max across shards (their device clocks run
+/// in parallel, so the aggregate timeline is the slowest shard's);
+/// latency distributions merge bucket-wise.
+struct AggregateIoView {
+  IoCounters counters;
+  double elapsed_us = 0;         // max of per-shard elapsed times
+  uint64_t submissions = 0;      // summed channel submissions
+  uint32_t max_queue_depth = 0;  // deepest channel queue of any shard
+  uint64_t host_admissions = 0;  // summed host-queue admissions
+  std::array<LatencyHistogram, kNumRequestClasses> request_latency;
+
+  /// Folds one shard's IoStats into the view.
+  void Absorb(const class IoStats& stats);
 };
 
 /// Mutable accumulator owned by the FlashDevice. Operation *counts* are

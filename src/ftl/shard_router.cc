@@ -1,0 +1,91 @@
+#include "ftl/shard_router.h"
+
+#include <utility>
+
+namespace gecko {
+
+SplitRequest ShardRouter::Split(const IoRequest& request) const {
+  SplitRequest split;
+  split.op = request.op;
+  split.original_extents = request.extents.size();
+
+  if (request.op == IoOp::kFlush) {
+    // The cross-shard barrier: every shard flushes; the rendezvous join
+    // in the sharded FTL completes the host flush only when all have.
+    split.subs.reserve(map_.num_shards);
+    for (uint32_t s = 0; s < map_.num_shards; ++s) {
+      SplitRequest::Sub sub;
+      sub.shard = s;
+      sub.request = IoRequest::Flush();
+      split.subs.push_back(std::move(sub));
+    }
+    return split;
+  }
+
+  // Dense sub-request slots, one per touched shard, emitted in shard
+  // order (deterministic for tests; the touch order of one request is
+  // not observable across shards anyway).
+  std::vector<int> slot_of_shard(map_.num_shards, -1);
+  for (size_t i = 0; i < request.extents.size(); ++i) {
+    const IoExtent& extent = request.extents[i];
+    if (map_.num_shards > 1 && extent.lpn >= map_.TotalLpns()) {
+      // Beyond the aggregate capacity: resolved here, exactly like the
+      // unsharded FTL's own out-of-range check (extent skipped).
+      split.unrouted.emplace_back(
+          i, Status::InvalidArgument("lpn beyond sharded capacity"));
+      continue;
+    }
+    uint32_t shard = map_.ShardOf(extent.lpn);
+    int slot = slot_of_shard[shard];
+    if (slot < 0) {
+      slot = static_cast<int>(split.subs.size());
+      slot_of_shard[shard] = slot;
+      SplitRequest::Sub sub;
+      sub.shard = shard;
+      sub.request = IoRequest(request.op);
+      split.subs.push_back(std::move(sub));
+    }
+    SplitRequest::Sub& sub = split.subs[static_cast<size_t>(slot)];
+    sub.request.extents.push_back(
+        IoExtent{map_.LocalLpn(extent.lpn), extent.payload});
+    sub.extent_of.push_back(i);
+  }
+  return split;
+}
+
+void ShardRouter::Join(const SplitRequest& split,
+                       const std::vector<IoResult>& sub_results,
+                       IoResult* out) {
+  GECKO_CHECK_EQ(sub_results.size(), split.subs.size());
+  out->status = Status::Ok();
+  out->extent_status.assign(split.original_extents, Status::Ok());
+  out->payloads.clear();
+  if (split.op == IoOp::kRead) {
+    out->payloads.assign(split.original_extents, 0);
+  }
+  for (const auto& [index, status] : split.unrouted) {
+    out->extent_status[index] = status;
+  }
+  for (size_t s = 0; s < split.subs.size(); ++s) {
+    const SplitRequest::Sub& sub = split.subs[s];
+    const IoResult& r = sub_results[s];
+    if (!r.status.ok()) {
+      // A sub-request that failed (or was aborted) as a whole: the host
+      // request is indeterminate, like an NVMe command at reset.
+      out->status = r.status;
+    }
+    for (size_t j = 0; j < sub.extent_of.size(); ++j) {
+      size_t original = sub.extent_of[j];
+      if (j < r.extent_status.size()) {
+        out->extent_status[original] = r.extent_status[j];
+      } else if (!r.status.ok()) {
+        out->extent_status[original] = r.status;
+      }
+      if (split.op == IoOp::kRead && j < r.payloads.size()) {
+        out->payloads[original] = r.payloads[j];
+      }
+    }
+  }
+}
+
+}  // namespace gecko

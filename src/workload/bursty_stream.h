@@ -41,6 +41,19 @@ class BurstyRequestStream {
     GECKO_CHECK_GT(options.burst_requests, 0u);
   }
 
+  /// Builds submitter thread `child`'s independent deterministic bursty
+  /// stream (burst phase restarts; the wrapped RequestStream forks its
+  /// seed and payload version range). `workload` must be the child
+  /// thread's own instance — nothing may be shared across threads.
+  BurstyRequestStream Fork(uint32_t child, Workload* workload) const {
+    Options options = options_;
+    options.stream.seed =
+        RequestStream::ForkSeed(options_.stream.seed, child);
+    options.stream.version_base = options_.stream.version_base +
+                                  (uint64_t{child} + 1) * (uint64_t{1} << 40);
+    return BurstyRequestStream(workload, options);
+  }
+
   Slot Next() {
     Slot slot;
     if (in_burst_ < options_.burst_requests) {

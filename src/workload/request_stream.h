@@ -35,16 +35,51 @@ class RequestStream {
     /// should fill first). Async QD sweeps use the mix to exercise the
     /// shared-claim dependency path alongside exclusive writes.
     double read_fraction = 0.0;
+    /// Per-instance RNG seed: two streams with the same seed (and
+    /// workload behaviour) emit identical request sequences; the Rng is
+    /// documented not-thread-safe, so every thread needs its own stream
+    /// (see Fork).
     uint64_t seed = 42;
+    /// Starting value of the payload version counter. Fork() gives each
+    /// child a disjoint version range so tokens from different submitter
+    /// threads can never collide, even on the same lpn.
+    uint64_t version_base = 0;
   };
 
+  /// Derives child `i`'s seed from a parent seed (splitmix64 finalizer —
+  /// nearby children get uncorrelated streams).
+  static uint64_t ForkSeed(uint64_t seed, uint32_t child) {
+    uint64_t x = seed + (uint64_t{child} + 1) * 0x9E3779B97F4A7C15ull;
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return x;
+  }
+
   RequestStream(Workload* workload, const Options& options)
-      : workload_(workload), options_(options), rng_(options.seed) {
+      : workload_(workload),
+        options_(options),
+        rng_(options.seed),
+        version_(options.version_base) {
     GECKO_CHECK_GT(options.batch_size, 0u);
     GECKO_CHECK_GE(options.trim_fraction, 0.0);
     GECKO_CHECK_LE(options.trim_fraction, 1.0);
     GECKO_CHECK_GE(options.read_fraction, 0.0);
     GECKO_CHECK_LE(options.read_fraction, 1.0);
+  }
+
+  /// Builds submitter thread `child`'s independent deterministic stream:
+  /// same shape options, a ForkSeed-derived seed, and a disjoint payload
+  /// version range. `workload` must be the child thread's own instance
+  /// (Rng is not thread-safe; nothing may be shared across threads).
+  RequestStream Fork(uint32_t child, Workload* workload) const {
+    Options options = options_;
+    options.seed = ForkSeed(options_.seed, child);
+    options.version_base =
+        options_.version_base + (uint64_t{child} + 1) * (uint64_t{1} << 40);
+    return RequestStream(workload, options);
   }
 
   /// Deterministic payload for the i-th write the stream ever emits.

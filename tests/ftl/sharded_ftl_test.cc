@@ -1,0 +1,427 @@
+// Sharded front-end tests over all five FTLs and both queue backends:
+// single-shard bit-identical equivalence with the unsharded FTL,
+// multi-shard shadow-model integrity, cross-shard flush-barrier
+// ordering, crash-during-fan-out abort accounting, and concurrent
+// submitters (the suite the TSan CI job races).
+
+#include "ftl/sharded_ftl.h"
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tests/ftl/ftl_test_util.h"
+#include "util/random.h"
+
+namespace gecko {
+namespace {
+
+FtlConfig DefaultConfigFor(const std::string& name, uint32_t cache_capacity) {
+  if (name == "GeckoFTL") return GeckoFtl::DefaultConfig(cache_capacity);
+  if (name == "DFTL") return DftlFtl::DefaultConfig(cache_capacity);
+  if (name == "LazyFTL") return LazyFtl::DefaultConfig(cache_capacity);
+  if (name == "uFTL") return MuFtl::DefaultConfig(cache_capacity);
+  if (name == "IB-FTL") return IbFtl::DefaultConfig(cache_capacity);
+  ADD_FAILURE() << "unknown FTL " << name;
+  return FtlConfig();
+}
+
+FtlFactory FactoryFor(const std::string& name) {
+  return [name](FlashDevice* device,
+                const FtlConfig& config) -> std::unique_ptr<Ftl> {
+    if (name == "GeckoFTL") return std::make_unique<GeckoFtl>(device, config);
+    if (name == "DFTL") return std::make_unique<DftlFtl>(device, config);
+    if (name == "LazyFTL") return std::make_unique<LazyFtl>(device, config);
+    if (name == "uFTL") return std::make_unique<MuFtl>(device, config);
+    if (name == "IB-FTL") return std::make_unique<IbFtl>(device, config);
+    return nullptr;
+  };
+}
+
+/// Param: (FTL name, lock-free queue backend?).
+using ShardedParam = std::tuple<std::string, bool>;
+
+class ShardedFtlTest : public ::testing::TestWithParam<ShardedParam> {
+ protected:
+  std::string FtlName() const { return std::get<0>(GetParam()); }
+  bool LockFree() const { return std::get<1>(GetParam()); }
+
+  std::unique_ptr<ShardedFtl> MakeSharded(uint32_t num_shards,
+                                          uint32_t total_channels = 4,
+                                          uint32_t cache_per_shard = 64) {
+    ShardedFtlOptions options;
+    options.geometry = FtlTestGeometry(total_channels);
+    options.num_shards = num_shards;
+    options.config = DefaultConfigFor(FtlName(), cache_per_shard);
+    options.lock_free_queue = LockFree();
+    return std::make_unique<ShardedFtl>(options, FactoryFor(FtlName()));
+  }
+};
+
+std::string ShardedParamName(
+    const ::testing::TestParamInfo<ShardedParam>& info) {
+  std::string name = std::get<0>(info.param);
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name + (std::get<1>(info.param) ? "_lockfree" : "_mutex");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFtls, ShardedFtlTest,
+    ::testing::Combine(::testing::Values("GeckoFTL", "DFTL", "LazyFTL",
+                                         "uFTL", "IB-FTL"),
+                       ::testing::Bool()),
+    ShardedParamName);
+
+void ExpectSameResult(const IoResult& got, const IoResult& want,
+                      const std::string& context) {
+  EXPECT_EQ(got.status.code(), want.status.code()) << context;
+  ASSERT_EQ(got.extent_status.size(), want.extent_status.size()) << context;
+  for (size_t i = 0; i < want.extent_status.size(); ++i) {
+    EXPECT_EQ(got.extent_status[i].code(), want.extent_status[i].code())
+        << context << " extent " << i;
+  }
+  ASSERT_EQ(got.payloads.size(), want.payloads.size()) << context;
+  for (size_t i = 0; i < want.payloads.size(); ++i) {
+    EXPECT_EQ(got.payloads[i], want.payloads[i]) << context << " extent " << i;
+  }
+}
+
+void ExpectSameCounters(const FtlCounters& got, const FtlCounters& want) {
+  EXPECT_EQ(got.writes, want.writes);
+  EXPECT_EQ(got.reads, want.reads);
+  EXPECT_EQ(got.trims, want.trims);
+  EXPECT_EQ(got.flushes, want.flushes);
+  EXPECT_EQ(got.batches, want.batches);
+  EXPECT_EQ(got.batched_pages, want.batched_pages);
+  EXPECT_EQ(got.sync_ops, want.sync_ops);
+  EXPECT_EQ(got.aborted_sync_ops, want.aborted_sync_ops);
+  EXPECT_EQ(got.checkpoints, want.checkpoints);
+  EXPECT_EQ(got.gc_collections, want.gc_collections);
+  EXPECT_EQ(got.gc_migrations, want.gc_migrations);
+  EXPECT_EQ(got.gc_force_skips, want.gc_force_skips);
+  EXPECT_EQ(got.uip_detections, want.uip_detections);
+  EXPECT_EQ(got.cache_hits, want.cache_hits);
+  EXPECT_EQ(got.cache_misses, want.cache_misses);
+  EXPECT_EQ(got.miss_fetches, want.miss_fetches);
+  EXPECT_EQ(got.miss_joins, want.miss_joins);
+}
+
+// The tentpole's equivalence gate: with num_shards == 1 the sharded
+// front end must be bit-identical to today's unsharded FTL — same
+// per-extent results, same counters, same device IO, same recovery.
+TEST_P(ShardedFtlTest, SingleShardBitIdenticalToUnsharded) {
+  Geometry geometry = FtlTestGeometry(4);
+  FlashDevice plain_device(geometry);
+  std::unique_ptr<Ftl> plain = MakeFtl(FtlName(), &plain_device, 64);
+  std::unique_ptr<ShardedFtl> sharded = MakeSharded(1);
+
+  const uint64_t capacity = geometry.NumLogicalPages();
+  Rng rng(123);
+  uint64_t version = 0;
+  for (int step = 0; step < 500; ++step) {
+    uint32_t dice = static_cast<uint32_t>(rng.Uniform(100));
+    std::string context = FtlName() + " step " + std::to_string(step);
+    if (dice < 55) {
+      IoRequest request(IoOp::kWrite);
+      int n = 1 + static_cast<int>(rng.Uniform(6));
+      for (int i = 0; i < n; ++i) {
+        // Occasionally out of range, to compare the rejection path.
+        Lpn lpn = static_cast<Lpn>(rng.Uniform(capacity + 8));
+        request.Add(lpn, FtlExperiment::Token(lpn, ++version));
+      }
+      IoRequest copy = request;
+      IoResult want, got;
+      Status ws = plain->Submit(request, &want);
+      Status gs = sharded->Submit(copy, &got);
+      EXPECT_EQ(gs.code(), ws.code()) << context;
+      ExpectSameResult(got, want, context);
+    } else if (dice < 75) {
+      IoRequest request(IoOp::kRead);
+      int n = 1 + static_cast<int>(rng.Uniform(6));
+      for (int i = 0; i < n; ++i) {
+        request.Add(static_cast<Lpn>(rng.Uniform(capacity + 8)));
+      }
+      IoRequest copy = request;
+      IoResult want, got;
+      Status ws = plain->Submit(request, &want);
+      Status gs = sharded->Submit(copy, &got);
+      EXPECT_EQ(gs.code(), ws.code()) << context;
+      ExpectSameResult(got, want, context);
+    } else if (dice < 85) {
+      IoRequest request(IoOp::kTrim);
+      int n = 1 + static_cast<int>(rng.Uniform(3));
+      for (int i = 0; i < n; ++i) {
+        request.Add(static_cast<Lpn>(rng.Uniform(capacity)));
+      }
+      IoRequest copy = request;
+      IoResult want, got;
+      Status ws = plain->Submit(request, &want);
+      Status gs = sharded->Submit(copy, &got);
+      EXPECT_EQ(gs.code(), ws.code()) << context;
+      ExpectSameResult(got, want, context);
+    } else if (dice < 90) {
+      EXPECT_EQ(sharded->Flush().code(), plain->Flush().code()) << context;
+    } else if (dice < 96) {
+      EXPECT_EQ(sharded->IdleTick(), plain->IdleTick()) << context;
+    } else {
+      EXPECT_EQ(sharded->ForceGc(), plain->ForceGc()) << context;
+    }
+  }
+
+  // Malformed requests reject identically (no admission either way).
+  IoRequest empty_write(IoOp::kWrite);
+  IoResult ignored;
+  EXPECT_EQ(sharded->Submit(empty_write, &ignored).code(),
+            plain->Submit(empty_write, &ignored).code());
+
+  ExpectSameCounters(sharded->counters(), plain->counters());
+  EXPECT_EQ(sharded->RamBytes(), plain->RamBytes());
+  const IoStats& plain_stats = plain_device.stats();
+  const IoStats& shard_stats = sharded->shard_device(0).stats();
+  EXPECT_EQ(shard_stats.counters().DebugString(),
+            plain_stats.counters().DebugString());
+  EXPECT_DOUBLE_EQ(shard_stats.elapsed_us(), plain_stats.elapsed_us());
+  EXPECT_EQ(shard_stats.total_submissions(), plain_stats.total_submissions());
+  EXPECT_EQ(shard_stats.max_queue_depth(), plain_stats.max_queue_depth());
+
+  // Crash/recovery is preserved: same per-step recovery costs, and the
+  // surviving state reads back identically.
+  RecoveryReport want_report = plain->CrashAndRecover();
+  RecoveryReport got_report = sharded->CrashAndRecover();
+  ASSERT_EQ(got_report.steps.size(), want_report.steps.size());
+  for (size_t i = 0; i < want_report.steps.size(); ++i) {
+    EXPECT_EQ(got_report.steps[i].name, want_report.steps[i].name);
+    EXPECT_EQ(got_report.steps[i].spare_reads,
+              want_report.steps[i].spare_reads);
+    EXPECT_EQ(got_report.steps[i].page_reads, want_report.steps[i].page_reads);
+    EXPECT_EQ(got_report.steps[i].page_writes,
+              want_report.steps[i].page_writes);
+  }
+  for (Lpn lpn = 0; lpn < capacity; ++lpn) {
+    uint64_t want_payload = 0, got_payload = 0;
+    Status ws = plain->Read(lpn, &want_payload);
+    Status gs = sharded->Read(lpn, &got_payload);
+    ASSERT_EQ(gs.code(), ws.code()) << "post-recovery lpn " << lpn;
+    ASSERT_EQ(got_payload, want_payload) << "post-recovery lpn " << lpn;
+  }
+}
+
+// Multi-shard data integrity against the shadow model: the sharded FTL
+// is just an Ftl, so the standard harness drives it end to end.
+TEST_P(ShardedFtlTest, MultiShardShadowIntegrity) {
+  std::unique_ptr<ShardedFtl> sharded = MakeSharded(4);
+  const uint64_t capacity = sharded->shard_map().TotalLpns();
+  ShadowHarness harness(sharded.get(), capacity);
+  Rng rng(99);
+  for (int round = 0; round < 120; ++round) {
+    std::vector<Lpn> lpns;
+    int n = 1 + static_cast<int>(rng.Uniform(8));
+    for (int i = 0; i < n; ++i) {
+      lpns.push_back(static_cast<Lpn>(rng.Uniform(capacity)));
+    }
+    if (round % 7 == 3) {
+      harness.TrimBatch(lpns);
+    } else {
+      harness.WriteBatch(lpns);
+    }
+    if (round % 25 == 10) {
+      ASSERT_TRUE(sharded->Flush().ok());
+    }
+    if (round % 40 == 20) sharded->IdleTick();
+  }
+  harness.VerifyAll();
+  harness.VerifyAbsent(capacity);
+
+  // Reads beyond the sharded capacity are rejected by the router with
+  // the same per-extent status the FTL itself would produce.
+  uint64_t payload = 0;
+  EXPECT_EQ(sharded->Read(capacity, &payload).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// Cross-shard flush barrier: Flush() returns only after every shard has
+// serviced its flush sub, and per-producer FIFO means every write this
+// thread fanned out earlier is serviced first — so everything written
+// before the flush survives a crash right after it.
+TEST_P(ShardedFtlTest, FlushBarrierMakesPriorWritesDurable) {
+  std::unique_ptr<ShardedFtl> sharded = MakeSharded(4);
+  const uint64_t capacity = sharded->shard_map().TotalLpns();
+
+  std::vector<std::pair<Lpn, uint64_t>> written;
+  Rng rng(7);
+  std::atomic<uint64_t> callbacks{0};
+  for (int i = 0; i < 64; ++i) {
+    IoRequest request(IoOp::kWrite);
+    for (int j = 0; j < 4; ++j) {
+      Lpn lpn = static_cast<Lpn>(rng.Uniform(capacity));
+      uint64_t token = FtlExperiment::Token(lpn, 1000 + i * 8 + j);
+      request.Add(lpn, token);
+      written.emplace_back(lpn, token);
+    }
+    Status s = sharded->SubmitAsync(
+        std::move(request), [&callbacks](const IoResult& result,
+                                         const AsyncCompletion&) {
+          EXPECT_TRUE(result.status.ok());
+          callbacks.fetch_add(1, std::memory_order_relaxed);
+        });
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+  ASSERT_TRUE(sharded->Flush().ok());
+  // The barrier implies every prior fan-out completed.
+  EXPECT_EQ(callbacks.load(std::memory_order_relaxed), 64u);
+  EXPECT_EQ(sharded->InFlightRequests(), 0u);
+
+  sharded->CrashAndRecover();
+  // Last writer wins per lpn; replay the shadow of the submission order.
+  std::unordered_map<Lpn, uint64_t> expect;
+  for (const auto& [lpn, token] : written) expect[lpn] = token;
+  for (const auto& [lpn, token] : expect) {
+    uint64_t got = 0;
+    Status s = sharded->Read(lpn, &got);
+    ASSERT_TRUE(s.ok()) << FtlName() << ": lpn " << lpn << " lost after "
+                        << "flush barrier + crash: " << s.ToString();
+    ASSERT_EQ(got, token) << FtlName() << ": lpn " << lpn;
+  }
+}
+
+// Crash during fan-out: every queued sub-request aborts exactly once,
+// every host request completes exactly once (kAborted when any of its
+// subs aborted), and the accounting adds up.
+TEST_P(ShardedFtlTest, CrashDuringFanOutAbortsQueuedSubsExactlyOnce) {
+  bool saw_aborts = false;
+  for (int attempt = 0; attempt < 5 && !saw_aborts; ++attempt) {
+    ShardedFtlOptions options;
+    options.geometry = FtlTestGeometry(4);
+    options.num_shards = 4;
+    options.config = DefaultConfigFor(FtlName(), 64);
+    options.lock_free_queue = LockFree();
+    options.max_inflight = 4096;  // keep the queues deep at crash time
+    ShardedFtl sharded(options, FactoryFor(FtlName()));
+    const uint64_t capacity = sharded.shard_map().TotalLpns();
+
+    constexpr int kRequests = 256;
+    std::vector<std::atomic<uint32_t>> fired(kRequests);
+    std::atomic<uint64_t> aborted_requests{0};
+    Rng rng(31 + attempt);
+    for (int i = 0; i < kRequests; ++i) {
+      IoRequest request(IoOp::kWrite);
+      for (int j = 0; j < 4; ++j) {
+        Lpn lpn = static_cast<Lpn>(rng.Uniform(capacity));
+        request.Add(lpn, FtlExperiment::Token(lpn, i * 4 + j));
+      }
+      std::atomic<uint32_t>* slot = &fired[i];
+      Status s = sharded.SubmitAsync(
+          std::move(request),
+          [slot, &aborted_requests](const IoResult& result,
+                                    const AsyncCompletion& done) {
+            slot->fetch_add(1, std::memory_order_relaxed);
+            if (result.status.code() == StatusCode::kAborted) {
+              aborted_requests.fetch_add(1, std::memory_order_relaxed);
+              EXPECT_EQ(done.complete_us, 0.0);
+              // An aborted request still reports every extent: each is
+              // either serviced (a sub that ran pre-crash) or kAborted.
+              bool any_aborted = false;
+              for (const Status& es : result.extent_status) {
+                any_aborted =
+                    any_aborted || es.code() == StatusCode::kAborted;
+              }
+              EXPECT_TRUE(any_aborted);
+            }
+          });
+      ASSERT_TRUE(s.ok()) << s.ToString();
+    }
+    sharded.CrashAndRecover();
+    sharded.DrainAsync();
+
+    // Exactly-once completion per request, no matter where the crash cut.
+    for (int i = 0; i < kRequests; ++i) {
+      ASSERT_EQ(fired[i].load(std::memory_order_relaxed), 1u)
+          << "request " << i;
+    }
+    ShardedFtlStats stats = sharded.stats();
+    EXPECT_EQ(stats.completed_requests, static_cast<uint64_t>(kRequests));
+    EXPECT_EQ(stats.aborted_requests,
+              aborted_requests.load(std::memory_order_relaxed));
+    EXPECT_LE(stats.aborted_sub_requests, stats.sub_requests);
+    saw_aborts = stats.aborted_sub_requests > 0;
+
+    // The recovered FTL still services requests normally.
+    ASSERT_TRUE(sharded.Write(0, 42).ok());
+    uint64_t payload = 0;
+    ASSERT_TRUE(sharded.Read(0, &payload).ok());
+    EXPECT_EQ(payload, 42u);
+  }
+  // With 256 queued fan-outs and an immediate crash, at least one sub
+  // should still have been in a queue on some attempt.
+  EXPECT_TRUE(saw_aborts);
+}
+
+// Concurrent submitters on disjoint lpn ranges: the real-thread path the
+// TSan job races. Sync Submit from many threads, then verify integrity.
+TEST_P(ShardedFtlTest, ConcurrentSubmittersDisjointRanges) {
+  std::unique_ptr<ShardedFtl> sharded = MakeSharded(4);
+  const uint64_t capacity = sharded->shard_map().TotalLpns();
+  constexpr uint32_t kThreads = 4;
+  const uint64_t slice = capacity / kThreads;
+
+  std::vector<std::thread> threads;
+  for (uint32_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sharded, t, slice] {
+      Rng rng(1000 + t);
+      const Lpn base = t * slice;
+      for (int round = 0; round < 60; ++round) {
+        IoRequest request(IoOp::kWrite);
+        for (int j = 0; j < 4; ++j) {
+          Lpn lpn = base + static_cast<Lpn>(rng.Uniform(slice));
+          request.Add(lpn, FtlExperiment::Token(lpn, t * 1000 + round));
+        }
+        IoResult result;
+        Status s = sharded->Submit(request, &result);
+        ASSERT_TRUE(s.ok()) << s.ToString();
+        // Every extent serviced (last-writer-wins within the batch).
+        EXPECT_TRUE(result.AllOk()) << result.FirstError().ToString();
+        if (round % 16 == 7) {
+          // Read back one lpn this thread just wrote.
+          Lpn lpn = request.extents.back().lpn;
+          uint64_t payload = 0;
+          Status rs = sharded->Read(lpn, &payload);
+          ASSERT_TRUE(rs.ok()) << rs.ToString();
+          EXPECT_EQ(payload, request.extents.back().payload);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(sharded->InFlightRequests(), 0u);
+  ShardedFtlStats stats = sharded->stats();
+  EXPECT_EQ(stats.completed_requests, stats.requests);
+  EXPECT_EQ(stats.aborted_sub_requests, 0u);
+
+  // Aggregate view sums the shard devices.
+  AggregateIoView view = sharded->Aggregate();
+  uint64_t logical_writes = 0;
+  double max_elapsed = 0;
+  for (uint32_t s = 0; s < sharded->num_shards(); ++s) {
+    logical_writes +=
+        sharded->shard_device(s).stats().counters().logical_writes;
+    max_elapsed =
+        std::max(max_elapsed, sharded->shard_device(s).stats().elapsed_us());
+  }
+  EXPECT_EQ(view.counters.logical_writes, logical_writes);
+  EXPECT_DOUBLE_EQ(view.elapsed_us, max_elapsed);
+  EXPECT_GT(view.counters.logical_writes, 0u);
+
+  // Merged counters see every thread's extents.
+  EXPECT_EQ(sharded->counters().writes,
+            static_cast<uint64_t>(kThreads) * 60 * 4);
+}
+
+}  // namespace
+}  // namespace gecko

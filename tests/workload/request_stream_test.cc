@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "workload/bursty_stream.h"
 #include "workload/request_stream.h"
 
 namespace gecko {
@@ -68,6 +69,83 @@ TEST(RequestStreamTest, TrimMixEmitsTrimRequests) {
   EXPECT_EQ(stream.ops_emitted(), trims + writes);
 }
 
+TEST(RequestStreamTest, ForkIsDeterministicPerChild) {
+  RequestStream::Options options;
+  options.batch_size = 4;
+  options.read_fraction = 0.3;
+  options.seed = 77;
+
+  // Forking the same child twice (each with its own workload instance)
+  // yields identical request sequences.
+  UniformWorkload w1(500, 9), w2(500, 9), proto_w(500, 9);
+  RequestStream prototype(&proto_w, options);
+  RequestStream a = prototype.Fork(2, &w1);
+  RequestStream b = prototype.Fork(2, &w2);
+  for (int i = 0; i < 30; ++i) {
+    IoRequest ra = a.Next(), rb = b.Next();
+    ASSERT_EQ(ra.op, rb.op);
+    ASSERT_EQ(ra.extents.size(), rb.extents.size());
+    for (size_t j = 0; j < ra.extents.size(); ++j) {
+      EXPECT_EQ(ra.extents[j].lpn, rb.extents[j].lpn);
+      EXPECT_EQ(ra.extents[j].payload, rb.extents[j].payload);
+    }
+  }
+}
+
+TEST(RequestStreamTest, ForkedChildrenAreIndependentStreams) {
+  RequestStream::Options options;
+  options.batch_size = 4;
+  options.read_fraction = 0.5;
+  options.seed = 77;
+  UniformWorkload w0(500, 9), w1(500, 9), proto_w(500, 9);
+  RequestStream prototype(&proto_w, options);
+  RequestStream a = prototype.Fork(0, &w0);
+  RequestStream b = prototype.Fork(1, &w1);
+  EXPECT_NE(RequestStream::ForkSeed(77, 0), RequestStream::ForkSeed(77, 1));
+
+  // Same underlying workload sequence, but the forked seeds must decide
+  // read-vs-write differently somewhere in a modest window.
+  bool diverged = false;
+  for (int i = 0; i < 50 && !diverged; ++i) {
+    diverged = a.Next().op != b.Next().op;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(RequestStreamTest, ForkedPayloadVersionRangesAreDisjoint) {
+  RequestStream::Options options;
+  options.batch_size = 4;
+  // Writes to the SAME lpn from different forks must carry different
+  // payload tokens (disjoint version ranges), so concurrent-submitter
+  // integrity checks can attribute data to a writer.
+  SequentialWorkload w0(8), w1(8), proto_w(8);
+  RequestStream prototype(&proto_w, options);
+  RequestStream a = prototype.Fork(0, &w0);
+  RequestStream b = prototype.Fork(1, &w1);
+  IoRequest ra = a.Next(), rb = b.Next();
+  ASSERT_EQ(ra.extents.size(), rb.extents.size());
+  for (size_t j = 0; j < ra.extents.size(); ++j) {
+    ASSERT_EQ(ra.extents[j].lpn, rb.extents[j].lpn);  // same drawn lpns
+    EXPECT_NE(ra.extents[j].payload, rb.extents[j].payload);
+  }
+}
+
+TEST(RequestStreamTest, ExplicitSeedAndVersionBaseAreHonored) {
+  RequestStream::Options options;
+  options.batch_size = 2;
+  options.seed = 123;
+  options.version_base = 1u << 20;
+  SequentialWorkload w1(16), w2(16);
+  RequestStream a(&w1, options), b(&w2, options);
+  IoRequest ra = a.Next(), rb = b.Next();
+  ASSERT_EQ(ra.extents.size(), 2u);
+  EXPECT_EQ(ra.extents[0].payload, rb.extents[0].payload);
+  // version_base offsets the token version: the first write uses
+  // version_base + 1.
+  EXPECT_EQ(ra.extents[0].payload,
+            RequestStream::PayloadToken(ra.extents[0].lpn, (1u << 20) + 1));
+}
+
 TEST(RequestStreamTest, AllTrimWorkloadStillTerminates) {
   SequentialWorkload workload(64);
   RequestStream::Options options;
@@ -78,6 +156,35 @@ TEST(RequestStreamTest, AllTrimWorkloadStillTerminates) {
     IoRequest request = stream.Next();
     EXPECT_EQ(request.op, IoOp::kTrim);
     EXPECT_EQ(request.extents.size(), 4u);
+  }
+}
+
+TEST(BurstyRequestStreamTest, ForkIsDeterministicAndReseedsWrappedStream) {
+  BurstyRequestStream::Options options;
+  options.burst_requests = 4;
+  options.idle_slots = 2;
+  options.stream.batch_size = 4;
+  options.stream.seed = 55;
+  UniformWorkload proto_w(256, 9), w1(256, 9), w2(256, 9), w3(256, 9);
+  BurstyRequestStream prototype(&proto_w, options);
+  BurstyRequestStream a = prototype.Fork(1, &w1);
+  BurstyRequestStream b = prototype.Fork(1, &w2);
+  BurstyRequestStream other = prototype.Fork(2, &w3);
+
+  EXPECT_EQ(a.options().stream.seed, RequestStream::ForkSeed(55, 1));
+  EXPECT_NE(a.options().stream.seed, other.options().stream.seed);
+  EXPECT_NE(a.options().stream.version_base,
+            other.options().stream.version_base);
+
+  for (int i = 0; i < 24; ++i) {
+    BurstyRequestStream::Slot sa = a.Next(), sb = b.Next();
+    ASSERT_EQ(sa.idle, sb.idle);
+    if (sa.idle) continue;
+    ASSERT_EQ(sa.request.extents.size(), sb.request.extents.size());
+    for (size_t j = 0; j < sa.request.extents.size(); ++j) {
+      EXPECT_EQ(sa.request.extents[j].lpn, sb.request.extents[j].lpn);
+      EXPECT_EQ(sa.request.extents[j].payload, sb.request.extents[j].payload);
+    }
   }
 }
 
