@@ -349,7 +349,9 @@ LogGeckoRecoveryInfo LogGecko::Recover(
           device_->ReadSpare(PhysicalAddress{block, p}, IoPurpose::kRecovery);
       ++info.spare_reads;
       if (!r.written) break;  // sequential programming: rest of block free
-      if (!r.spare.IsPvm()) continue;
+      // Failed-program pages were re-placed before the run's write
+      // returned; only the good copies define run completeness.
+      if (r.media_error || !r.spare.IsPvm()) continue;
       RunScan& scan = scans[r.spare.key];
       if (r.spare.aux == kRunPreambleAux) {
         scan.has_preamble = true;

@@ -49,13 +49,17 @@ const RunImage& RunStorage::WriteRun(uint32_t level,
   // Preamble: run id + level + live-run snapshot. The payload token is the
   // run id; level rides in the spare's aux low bits would collide with the
   // marker, so recovery reads the preamble *page* for it (one page read).
-  image.preamble = allocator_->AllocatePage(PageType::kPvm, stream);
   SpareArea spare;
   spare.type = PageType::kPvm;
   spare.key = static_cast<uint32_t>(image.id);
   spare.aux = kRunPreambleAux;
-  image.creation_seq =
-      device_->WritePage(image.preamble, spare, image.id, IoPurpose::kPvm);
+  // Program faults re-place each run page transparently (the directory
+  // and preamble/postamble addresses below always name good pages).
+  PlacedProgram pre = AllocateAndProgram(device_, allocator_, PageType::kPvm,
+                                         stream, spare, image.id,
+                                         IoPurpose::kPvm);
+  image.preamble = pre.addr;
+  image.creation_seq = pre.seq;
   image.flush_cover_seq =
       flush_cover_seq == 0 ? image.creation_seq : flush_cover_seq;
 
@@ -63,24 +67,29 @@ const RunImage& RunStorage::WriteRun(uint32_t level,
   size_t num_pages = (entries.size() + entries_per_page_ - 1) /
                      entries_per_page_;
   for (size_t p = 0; p < num_pages; ++p) {
-    PhysicalAddress addr = allocator_->AllocatePage(PageType::kPvm, stream);
     SpareArea data_spare;
     data_spare.type = PageType::kPvm;
     data_spare.key = static_cast<uint32_t>(image.id);
     data_spare.aux = static_cast<uint32_t>(p);
-    device_->WritePage(addr, data_spare, image.id, IoPurpose::kPvm);
+    PhysicalAddress addr = AllocateAndProgram(device_, allocator_,
+                                              PageType::kPvm, stream,
+                                              data_spare, image.id,
+                                              IoPurpose::kPvm)
+                               .addr;
     image.directory.pages.push_back(addr);
     image.directory.first_keys.push_back(entries[p * entries_per_page_].key);
   }
 
   // Postamble: a copy of the run directory (Appendix C.1). Its presence
   // marks the run as completely written.
-  image.postamble = allocator_->AllocatePage(PageType::kPvm, stream);
   SpareArea post_spare;
   post_spare.type = PageType::kPvm;
   post_spare.key = static_cast<uint32_t>(image.id);
   post_spare.aux = kRunPostambleAux;
-  device_->WritePage(image.postamble, post_spare, image.id, IoPurpose::kPvm);
+  image.postamble = AllocateAndProgram(device_, allocator_, PageType::kPvm,
+                                       stream, post_spare, image.id,
+                                       IoPurpose::kPvm)
+                        .addr;
 
   image.entries = std::move(entries);
   auto [it, inserted] = images_.emplace(image.id, std::move(image));
@@ -128,10 +137,12 @@ bool RunStorage::RelocatePage(PhysicalAddress addr) {
     spare.key = static_cast<uint32_t>(id);
     auto move_page = [&](PhysicalAddress* slot, uint32_t aux) {
       device_->ReadPage(*slot, IoPurpose::kPvm);
-      PhysicalAddress fresh = allocator_->AllocatePage(
-          PageType::kPvm, static_cast<uint32_t>(image.id));
       spare.aux = aux;
-      device_->WritePage(fresh, spare, id, IoPurpose::kPvm);
+      PhysicalAddress fresh =
+          AllocateAndProgram(device_, allocator_, PageType::kPvm,
+                             static_cast<uint32_t>(image.id), spare, id,
+                             IoPurpose::kPvm)
+              .addr;
       allocator_->OnMetadataPageInvalidated(*slot);
       *slot = fresh;
     };

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "flash/channel_queue.h"
+#include "flash/fault_model.h"
 #include "flash/geometry.h"
 #include "flash/io_stats.h"
 #include "flash/latency.h"
@@ -44,18 +45,37 @@
 namespace gecko {
 
 /// Result of reading a page (payload + spare + whether it was programmed).
+/// `media_error` means the medium could not return trustworthy data: an
+/// uncorrectable (hard) read fault, a page a program fault marked bad, or
+/// a page in a retired block. On media_error the payload is zeroed and
+/// must not be used; the spare is returned as stored (a bad page's spare
+/// still carries its stamped seq, which recovery scans may use for
+/// ordering but never for content).
 struct PageReadResult {
   bool written = false;
   uint64_t payload = 0;
   SpareArea spare;
+  bool media_error = false;
+};
+
+/// Result of a program attempt. `ok == false` means the medium failed the
+/// program: the page is consumed (write pointer advanced, page marked bad)
+/// and the caller must re-place the data on a fresh page. `seq` is the
+/// global sequence number the attempt consumed either way.
+struct ProgramResult {
+  bool ok = true;
+  uint64_t seq = 0;
 };
 
 /// Simulated NAND flash device. Not thread-safe; one per simulation.
 class FlashDevice {
  public:
   /// Builds a device with `geometry.num_channels` channel queues, all
-  /// sharing one latency model. Aborts on an invalid geometry.
-  FlashDevice(const Geometry& geometry, LatencyModel latency = LatencyModel());
+  /// sharing one latency model, and an optional media-fault plane (the
+  /// default FaultConfig is a perfect medium). Factory-bad blocks from the
+  /// config are retired before first use. Aborts on an invalid geometry.
+  FlashDevice(const Geometry& geometry, LatencyModel latency = LatencyModel(),
+              FaultConfig faults = FaultConfig());
 
   FlashDevice(const FlashDevice&) = delete;
   FlashDevice& operator=(const FlashDevice&) = delete;
@@ -157,6 +177,16 @@ class FlashDevice {
                           uint64_t payload, IoPurpose purpose,
                           FlashCompletion on_complete);
 
+  /// Fault-aware program. Identical to WritePage on success; on an injected
+  /// program fault the page is consumed and marked bad (it reads back as
+  /// media_error until the block is erased) and `ok == false` — the caller
+  /// must re-place the data on a freshly allocated page (see
+  /// AllocateAndProgram in flash/page_allocator.h). WritePage itself aborts
+  /// on a program fault, so code that cannot re-place must not run with
+  /// program faults enabled.
+  ProgramResult ProgramPage(PhysicalAddress addr, SpareArea spare,
+                            uint64_t payload, IoPurpose purpose);
+
   /// Reads a full page (payload + spare). Charged one page read. The data
   /// is returned immediately even inside a batch window (data effects are
   /// synchronous; the channel queue models when the read *completes*).
@@ -176,11 +206,34 @@ class FlashDevice {
                                 FlashCompletion on_complete);
 
   /// Erases a block: all pages become free, the wear counter increments.
+  /// Aborts on an injected erase fault; fault-tolerant callers use
+  /// TryEraseBlock.
   void EraseBlock(BlockId block, IoPurpose purpose);
 
   /// EraseBlock + completion callback.
   void EraseBlockAsync(BlockId block, IoPurpose purpose,
                        FlashCompletion on_complete);
+
+  /// Fault-aware erase. Returns true on success (identical to EraseBlock).
+  /// On an injected erase fault the block is permanently retired — a grown
+  /// bad block: pages cleared, no further programs or erases accepted —
+  /// and false is returned. The op's channel time is charged either way.
+  bool TryEraseBlock(BlockId block, IoPurpose purpose);
+
+  /// Permanently retires `block` (grown bad): pages cleared, write pointer
+  /// reset, all further programs/erases refused. Used for factory-bad
+  /// blocks and by the FTL when a block exceeds its program-fail budget.
+  void RetireBlock(BlockId block);
+
+  /// Whether `block` has been retired (factory-marked or grown bad).
+  bool IsBadBlock(BlockId block) const;
+
+  /// Number of retired blocks (factory + grown).
+  uint32_t NumBadBlocks() const { return num_bad_blocks_; }
+
+  /// The fault oracle (mutable so tests can arm targeted triggers).
+  FaultModel& fault_model() { return faults_; }
+  const FaultModel& fault_model() const { return faults_; }
 
   // --- Introspection (no IO charge; used by tests, invariant checks, and
   // --- RAM-resident FTL bookkeeping that mirrors what firmware would know).
@@ -218,6 +271,7 @@ class FlashDevice {
     bool written = false;
     uint64_t payload = 0;
     SpareArea spare;
+    bool bad = false;  // program fault consumed this page; reads media_error
   };
 
   struct BlockRecord {
@@ -225,9 +279,20 @@ class FlashDevice {
     uint32_t erase_count = 0;
     uint64_t last_erase_seq = 0;  // global seq when last erased
     uint64_t last_program_seq = 0;  // global seq of the newest page (0: none)
+    bool retired = false;         // grown/factory bad: refuses program+erase
   };
 
   void CheckAddress(PhysicalAddress addr) const;
+
+  /// Shared program path: data effects + fault roll + op submission.
+  ProgramResult ProgramPageInternal(PhysicalAddress addr, SpareArea spare,
+                                    uint64_t payload, IoPurpose purpose,
+                                    FlashCompletion on_complete);
+
+  /// Shared erase path; returns false when an injected fault retired the
+  /// block (callback still fires: the attempt occupied the channel).
+  bool EraseBlockInternal(BlockId block, IoPurpose purpose,
+                          FlashCompletion on_complete);
 
   /// Routes one op through its block's channel queue: charges queue-depth
   /// stats, and drains immediately unless a batch window is open.
@@ -241,11 +306,18 @@ class FlashDevice {
   /// Feeds one stamped submission into the open op scope, if any.
   void NoteScopedOp(const FlashSubmission& sub);
 
+  /// Charges `retries` extra read ops at `addr` through the channel queue
+  /// (the latency cost of absorbing a transient read fault).
+  void ChargeReadRetries(PhysicalAddress addr, IoPurpose purpose,
+                         uint32_t retries);
+
   Geometry geometry_;
   IoStats stats_;
   ChannelArray channels_;
+  FaultModel faults_;
   std::vector<PageRecord> pages_;
   std::vector<BlockRecord> blocks_;
+  uint32_t num_bad_blocks_ = 0;
   uint64_t next_seq_ = 1;
   uint64_t global_erase_count_ = 0;
   uint32_t batch_depth_ = 0;

@@ -83,6 +83,11 @@ void AggregateIoView::Absorb(const IoStats& stats) {
   submissions += stats.total_submissions();
   max_queue_depth = std::max(max_queue_depth, stats.max_queue_depth());
   host_admissions += stats.host_admissions();
+  read_retries += stats.read_retries();
+  transient_read_faults += stats.transient_read_faults();
+  hard_read_faults += stats.hard_read_faults();
+  program_faults += stats.program_faults();
+  erase_faults += stats.erase_faults();
   for (int c = 0; c < kNumRequestClasses; ++c) {
     request_latency[c].Merge(
         stats.RequestLatency(static_cast<RequestClass>(c)));

@@ -110,6 +110,11 @@ struct AggregateIoView {
   uint64_t submissions = 0;      // summed channel submissions
   uint32_t max_queue_depth = 0;  // deepest channel queue of any shard
   uint64_t host_admissions = 0;  // summed host-queue admissions
+  uint64_t read_retries = 0;         // summed media-fault counters
+  uint64_t transient_read_faults = 0;
+  uint64_t hard_read_faults = 0;
+  uint64_t program_faults = 0;
+  uint64_t erase_faults = 0;
   std::array<LatencyHistogram, kNumRequestClasses> request_latency;
 
   /// Folds one shard's IoStats into the view.
@@ -231,6 +236,32 @@ class IoStats {
   /// Park-to-replay stall distribution of parked extents.
   const LatencyHistogram& MissStall() const { return miss_stall_; }
 
+  // --- Media-fault accounting (fed by the FlashDevice fault plane) -------
+  // A transient read fault is absorbed by the device's retry loop (extra
+  // channel time, no data loss); `n` is the number of extra read ops it
+  // cost. A hard read fault survives the retry budget and surfaces to the
+  // FTL as media_error. Program/erase faults consume the page / retire the
+  // block respectively.
+
+  void OnTransientReadFault(uint32_t n) {
+    ++transient_read_faults_;
+    read_retries_ += n;
+  }
+  void OnHardReadFault() { ++hard_read_faults_; }
+  void OnProgramFault() { ++program_faults_; }
+  void OnEraseFault() { ++erase_faults_; }
+
+  /// Lifetime extra read ops spent absorbing transient faults.
+  uint64_t read_retries() const { return read_retries_; }
+  /// Lifetime reads that needed at least one retry (and then succeeded).
+  uint64_t transient_read_faults() const { return transient_read_faults_; }
+  /// Lifetime uncorrectable reads surfaced to the FTL.
+  uint64_t hard_read_faults() const { return hard_read_faults_; }
+  /// Lifetime page programs the medium failed (page marked bad).
+  uint64_t program_faults() const { return program_faults_; }
+  /// Lifetime block erases the medium failed (block retired).
+  uint64_t erase_faults() const { return erase_faults_; }
+
   // --- Per-request latency histograms -----------------------------------
 
   /// Records one request's end-to-end latency (its batch window makespan).
@@ -291,6 +322,11 @@ class IoStats {
     miss_fetch_inflight_watermark_ = miss_fetch_inflight_;
     miss_fetches_issued_ = 0;
     coalesced_misses_ = 0;
+    read_retries_ = 0;
+    transient_read_faults_ = 0;
+    hard_read_faults_ = 0;
+    program_faults_ = 0;
+    erase_faults_ = 0;
     miss_stall_.Reset();
     for (LatencyHistogram& h : request_latency_) h.Reset();
   }
@@ -312,6 +348,11 @@ class IoStats {
   uint32_t miss_fetch_inflight_watermark_ = 0;
   uint64_t miss_fetches_issued_ = 0;
   uint64_t coalesced_misses_ = 0;
+  uint64_t read_retries_ = 0;
+  uint64_t transient_read_faults_ = 0;
+  uint64_t hard_read_faults_ = 0;
+  uint64_t program_faults_ = 0;
+  uint64_t erase_faults_ = 0;
   LatencyHistogram miss_stall_;
   std::array<LatencyHistogram, kNumRequestClasses> request_latency_;
 };

@@ -1,0 +1,33 @@
+#include "flash/page_allocator.h"
+
+#include "flash/flash_device.h"
+#include "util/check.h"
+
+namespace gecko {
+
+PlacedProgram AllocateAndProgram(FlashDevice* device, PageAllocator* allocator,
+                                 PageType type, uint32_t stream,
+                                 SpareArea spare, uint64_t payload,
+                                 IoPurpose purpose) {
+  // Bound: a pathological trigger could fail every page of the current
+  // active block (pages_per_block) and its replacement; past that, the
+  // medium is beyond saving and aborting beats looping forever.
+  uint32_t attempts_left = 2 * device->geometry().pages_per_block + 8;
+  PlacedProgram out;
+  for (;;) {
+    PhysicalAddress addr = allocator->AllocatePage(type, stream);
+    ProgramResult r = device->ProgramPage(addr, spare, payload, purpose);
+    if (r.ok) {
+      out.addr = addr;
+      out.seq = r.seq;
+      return out;
+    }
+    ++out.remaps;
+    allocator->OnProgramFailed(addr);
+    GECKO_CHECK_GT(--attempts_left, 0u)
+        << "program re-place loop exhausted at " << addr.ToString()
+        << " (" << out.remaps << " consecutive program faults)";
+  }
+}
+
+}  // namespace gecko

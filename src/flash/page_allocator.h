@@ -8,9 +8,15 @@
 #ifndef GECKOFTL_FLASH_PAGE_ALLOCATOR_H_
 #define GECKOFTL_FLASH_PAGE_ALLOCATOR_H_
 
+#include <cstdint>
+
+#include "flash/spare_area.h"
 #include "flash/types.h"
 
 namespace gecko {
+
+class FlashDevice;
+enum class IoPurpose : uint8_t;
 
 /// "No stream": the allocator is free to place the page anywhere (it
 /// round-robins across channels for maximum parallelism).
@@ -40,7 +46,33 @@ class PageAllocator {
   /// Marks a previously-written metadata page obsolete. When every page of
   /// a metadata block is obsolete, the implementation may erase the block.
   virtual void OnMetadataPageInvalidated(PhysicalAddress addr) = 0;
+
+  /// The medium failed the program at `addr` (the page is consumed and
+  /// bad). Lets allocators track per-block program-fail counts and retire
+  /// blocks that exceed their budget. Default: no bookkeeping.
+  virtual void OnProgramFailed(PhysicalAddress addr) { (void)addr; }
 };
+
+/// What one retry-and-re-place program cost.
+struct PlacedProgram {
+  PhysicalAddress addr;  // where the data finally landed
+  uint64_t seq = 0;      // its stamped sequence number
+  uint32_t remaps = 0;   // program faults absorbed along the way
+};
+
+/// Programs (spare, payload) on a freshly allocated page, transparently
+/// re-placing it on a new allocation each time the medium fails the
+/// program — the single write primitive every fault-tolerant flash write
+/// in the system goes through (user writes, GC migration, translation
+/// commits, PVM metadata, Gecko runs). Each failed attempt is reported to
+/// `allocator->OnProgramFailed` before the next allocation, so grown-bad
+/// bookkeeping (and block retirement) happens between attempts. Aborts
+/// after `2 * pages_per_block + 8` consecutive faults: that many failures
+/// means the fault rate is so high no placement can succeed.
+PlacedProgram AllocateAndProgram(FlashDevice* device, PageAllocator* allocator,
+                                 PageType type, uint32_t stream,
+                                 SpareArea spare, uint64_t payload,
+                                 IoPurpose purpose);
 
 }  // namespace gecko
 

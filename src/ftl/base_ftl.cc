@@ -1,6 +1,7 @@
 #include "ftl/base_ftl.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <utility>
 
@@ -177,6 +178,11 @@ Status BaseFtl::WriteExtent(Lpn lpn, uint64_t payload, bool tombstone,
   if (lpn >= device_->geometry().NumLogicalPages()) {
     return Status::InvalidArgument("lpn beyond logical capacity");
   }
+  // Sticky read-only mode: no spare capacity is left for out-of-place
+  // writes, and a trim programs a tombstone page, so both are refused.
+  if (degraded_) {
+    return Status::OutOfSpace("device in read-only degraded mode");
+  }
   if (tombstone) {
     ++counters_.trims;
     device_->stats().OnLogicalTrim();
@@ -194,17 +200,25 @@ Status BaseFtl::WriteExtent(Lpn lpn, uint64_t payload, bool tombstone,
   // GC admission: throttled incremental steps below the hard watermark,
   // the run-to-completion backstop below the emergency floor.
   scheduler_.BeforeUserWrite();
+  // The emergency collection may have just found space unreclaimable and
+  // degraded the FTL; allocating now would exhaust the pool.
+  if (degraded_) {
+    return Status::OutOfSpace("device in read-only degraded mode");
+  }
 
   // Program the new version on a free user page. A trim programs a
   // tombstone: a user page flagged dead-on-read, so the whole write-path
   // invariant set (UIP identification, GC checks, backward-scan recovery)
-  // covers discards with no special cases.
-  PhysicalAddress ppa = blocks_.AllocatePage(PageType::kUser);
+  // covers discards with no special cases. A program fault re-places the
+  // page transparently before the extent completes (AllocateAndProgram).
   SpareArea spare;
   spare.type = PageType::kUser;
   spare.key = lpn;
   spare.tombstone = tombstone;
-  device_->WritePage(ppa, spare, payload, IoPurpose::kUserWrite);
+  PhysicalAddress ppa =
+      AllocateAndProgram(device_, &blocks_, PageType::kUser, kNoStream, spare,
+                         payload, IoPurpose::kUserWrite)
+          .addr;
 
   MappingEntry* entry = cache_.Find(lpn);
   if (entry != nullptr) {
@@ -343,6 +357,12 @@ Status BaseFtl::ReadOne(Lpn lpn, uint64_t* payload) {
   }
 
   PageReadResult r = device_->ReadPage(ppa, IoPurpose::kUserRead);
+  if (r.media_error) {
+    // Uncorrectable (hard) read fault: surfaced per extent, never as
+    // wrong data. The mapping stays put — the loss is the page's, not
+    // the translation's.
+    return Status::IoError("uncorrectable read at " + ppa.ToString());
+  }
   GECKO_CHECK(r.written) << "mapping points to unwritten page";
   GECKO_CHECK_EQ(r.spare.key, lpn) << "mapping points to wrong logical page";
   if (r.spare.tombstone) {
@@ -436,6 +456,11 @@ void BaseFtl::ReadBatch(const IoRequest& request, IoResult* result) {
   for (size_t i = 0; i < request.extents.size(); ++i) {
     if (!result->extent_status[i].ok() || !resolved[i].IsValid()) continue;
     PageReadResult r = device_->ReadPage(resolved[i], IoPurpose::kUserRead);
+    if (r.media_error) {
+      result->extent_status[i] =
+          Status::IoError("uncorrectable read at " + resolved[i].ToString());
+      continue;
+    }
     GECKO_CHECK(r.written) << "mapping points to unwritten page";
     GECKO_CHECK_EQ(r.spare.key, request.extents[i].lpn)
         << "mapping points to wrong logical page";
@@ -482,6 +507,11 @@ void BaseFtl::ResolveParkedExtent(IoRequest& request, IoResult* result,
     return;
   }
   PageReadResult r = device_->ReadPage(ppa, IoPurpose::kUserRead);
+  if (r.media_error) {
+    result->extent_status[extent] =
+        Status::IoError("uncorrectable read at " + ppa.ToString());
+    return;
+  }
   GECKO_CHECK(r.written) << "mapping points to unwritten page";
   GECKO_CHECK_EQ(r.spare.key, lpn) << "mapping points to wrong logical page";
   if (r.spare.tombstone) {
@@ -535,7 +565,9 @@ void BaseFtl::DebugCheckNotAuthoritative(PhysicalAddress addr,
   // on-flash copy of the page's lpn must exist somewhere on the device.
   if (!device_->IsWritten(addr)) return;
   PageReadResult r = device_->ReadSpare(addr, IoPurpose::kOther);
-  if (!r.spare.IsUser()) return;
+  // A failed-program page is never authoritative (its data was re-placed
+  // before the write completed), so a report for it is always legitimate.
+  if (r.media_error || !r.spare.IsUser()) return;
   Lpn lpn = r.spare.key;
   const Geometry& g = device_->geometry();
   for (BlockId b = 0; b < g.num_blocks; ++b) {
@@ -625,7 +657,8 @@ void BaseFtl::SyncTranslationPage(TPageId tpage) {
       if (entry->uncertain) {
         PageReadResult r =
             device_->ReadSpare(flash_ppa, IoPurpose::kTranslation);
-        report = r.written && r.spare.IsUser() && r.spare.key == lpn;
+        report = r.written && !r.media_error && r.spare.IsUser() &&
+                 r.spare.key == lpn;
       }
 #ifdef GECKO_DEBUG_GC_GROUND_TRUTH
       if (report) DebugCheckNotAuthoritative(flash_ppa, "sync-uip");
@@ -708,10 +741,19 @@ GcStepOutcome BaseFtl::GcStep(uint32_t max_migrations) {
   bool prev_compact = blocks_.compact_mode();
   blocks_.set_compact_mode(true);
   switch (gc_.phase) {
-    case GcPhase::kIdle:
-      StartCollection(SelectVictim());
+    case GcPhase::kIdle: {
+      BlockId victim = SelectVictim();
+      if (victim == kInvalidU32) {
+        // Nothing collectable (all-live candidates, or grown bad blocks
+        // retired the spare capacity): report no progress; the scheduler
+        // decides whether that means degradation (emergency floor) or
+        // simply nothing to do (background tick).
+        break;
+      }
+      StartCollection(victim);
       out.advanced = true;
       break;
+    }
     case GcPhase::kMigrate:
       out.migrations = gc_.type == PageType::kUser
                            ? MigrateUserPages(max_migrations)
@@ -762,9 +804,29 @@ bool BaseFtl::ForceGc() {
   // fresh victim, and run until its erase lands.
   do {
     GcStepOutcome o = GcStep(~uint32_t{0});
-    GECKO_CHECK(o.advanced) << "GC state machine refused to advance";
+    if (!o.advanced) return false;  // no victim available
     if (o.erased) return true;
   } while (true);
+}
+
+const FtlCounters& BaseFtl::counters() const {
+  // Refresh the fault surface on read: every program fault was re-placed
+  // by AllocateAndProgram (or the process would have aborted), so the
+  // device's fault count IS the remap count.
+  counters_.remapped_programs = device_->stats().program_faults();
+  counters_.grown_bad_blocks = blocks_.bad_blocks().GrownBadBlocks();
+  counters_.degraded_mode = degraded_ ? 1 : 0;
+  return counters_;
+}
+
+void BaseFtl::EnterDegradedMode() {
+  if (degraded_) return;
+  degraded_ = true;
+  std::fprintf(stderr,
+               "[%s] entering read-only degraded mode: free_blocks=%u "
+               "emergency_floor=%u grown_bad_blocks=%u\n",
+               Name(), blocks_.NumFreeBlocks(), scheduler_.emergency_floor(),
+               blocks_.bad_blocks().GrownBadBlocks());
 }
 
 uint64_t BaseFtl::IdleTick() {
@@ -788,6 +850,21 @@ BlockId BaseFtl::SelectVictim() {
   const Geometry& g = device_->geometry();
   const bool metadata_ok = GcPolicyCollectsMetadata(config_.gc_policy);
   const uint64_t now_seq = device_->CurrentSeq();
+  // Migration reserve: collecting a victim with live pages consumes free
+  // blocks transiently before the erase nets one back — a compact-mode
+  // destination block, a translation block (mapping updates during the
+  // migration can evict dirty cache entries and commit their pages), and
+  // a PVM block for the invalidation/erase records. On a healthy medium
+  // every erase returns the victim, so the emergency loop always nets
+  // blocks back and the transient dip is safe (the pre-fault-injection
+  // behaviour, unchanged). Once the medium has retired blocks, erases
+  // can fail and net nothing, so the pool can only shrink: below the
+  // reserve, only fully-invalid victims are safe to collect. If none
+  // exist the spare capacity is genuinely exhausted and the caller
+  // degrades instead of letting an allocation CHECK out of blocks.
+  constexpr uint32_t kMigrationReserve = 4;
+  const bool migration_safe = device_->NumBadBlocks() == 0 ||
+                              blocks_.NumFreeBlocks() >= kMigrationReserve;
   BlockId best = SelectGcVictim(
       g.num_blocks, *victim_policy_, [&](BlockId b, GcVictimCandidate* c) {
         PageType type = blocks_.BlockType(b);
@@ -799,6 +876,7 @@ BlockId BaseFtl::SelectVictim() {
                                ? bvc_[b]
                                : written - blocks_.MetadataLivePages(b);
         c->valid = written >= invalid ? written - invalid : 0;
+        if (!migration_safe && c->valid > 0) return false;
         c->written = written;
         c->pages_per_block = g.pages_per_block;
         uint64_t last = device_->LastProgramSeq(b);
@@ -807,7 +885,8 @@ BlockId BaseFtl::SelectVictim() {
             device_->ChannelBusyUntilUs(device_->ChannelOf(b));
         return true;
       });
-  GECKO_CHECK_NE(best, kInvalidU32) << "no GC victim available";
+  // kInvalidU32 when nothing is collectable — the caller's problem
+  // (GcStep reports no progress; the emergency path degrades).
   return best;
 }
 
@@ -852,6 +931,11 @@ uint32_t BaseFtl::MigrateUserPages(uint32_t max_migrations) {
       // the victim mid-collection — it is neither free nor active.)
       gc_.next_page = g.pages_per_block;
       break;
+    }
+    if (spare.media_error) {
+      // Failed-program page: its data was re-placed before the write
+      // completed, so nothing live can be here. Skip it.
+      continue;
     }
     GECKO_CHECK(spare.spare.IsUser());
     Lpn lpn = spare.spare.key;
@@ -925,14 +1009,17 @@ uint32_t BaseFtl::MigrateUserPages(uint32_t max_migrations) {
     // cached mapping entry is created). UIP=false — the before-image is
     // this very page (DESIGN.md deviation 3).
     PageReadResult page = device_->ReadPage(addr, IoPurpose::kGcMigration);
-    PhysicalAddress dest = blocks_.AllocatePage(PageType::kUser);
     SpareArea new_spare;
     new_spare.type = PageType::kUser;
     new_spare.key = lpn;
     // A live tombstone stays a tombstone (the trimmed lpn must keep
     // reading back NotFound after its marker is migrated).
     new_spare.tombstone = page.spare.tombstone;
-    device_->WritePage(dest, new_spare, page.payload, IoPurpose::kGcMigration);
+    // A program fault mid-migration re-places the copy transparently.
+    PhysicalAddress dest =
+        AllocateAndProgram(device_, &blocks_, PageType::kUser, kNoStream,
+                           new_spare, page.payload, IoPurpose::kGcMigration)
+            .addr;
     ++counters_.gc_migrations;
     UpsertCacheEntry(lpn, dest, /*uip=*/false);
     ++migrated;
@@ -956,6 +1043,7 @@ uint32_t BaseFtl::MigrateMetadataPages(uint32_t max_migrations) {
       gc_.next_page = g.pages_per_block;
       break;
     }
+    if (spare.media_error) continue;  // failed program: nothing live here
     if (type == PageType::kTranslation) {
       TPageId t = spare.spare.key;
       // A sync interleaved with this incremental collection may have
@@ -985,7 +1073,7 @@ void BaseFtl::FinishCollection() {
       PhysicalAddress a{victim, p};
       if (!device_->IsWritten(a)) continue;
       PageReadResult r = device_->ReadSpare(a, IoPurpose::kOther);
-      if (!r.spare.IsUser()) continue;
+      if (r.media_error || !r.spare.IsUser()) continue;
       Lpn lpn = r.spare.key;
       const MappingEntry* e = cache_.Peek(lpn);
       PhysicalAddress auth =
@@ -1030,8 +1118,9 @@ void BaseFtl::MigratePvmPage(PhysicalAddress) {
 
 void BaseFtl::EraseBlockForGc(BlockId block, IoPurpose purpose) {
   translation_.OnBlockErased(block);
-  device_->EraseBlock(block, purpose);
-  blocks_.OnBlockErased(block);
+  // Fault-aware: a block marked for retirement (or whose erase faults) is
+  // retired in the medium instead of returning to the pool.
+  blocks_.EraseOrRetire(block, purpose);
 }
 
 void BaseFtl::UpsertCacheEntry(Lpn lpn, PhysicalAddress ppa, bool uip) {
@@ -1175,9 +1264,20 @@ void BaseFtl::BackwardScanRecoverEntries(uint64_t scan_bound, bool mark_uip,
       PhysicalAddress addr{ub.block, i};
       PageReadResult r = device_->ReadSpare(addr, IoPurpose::kRecovery);
       ++step.spare_reads;
-      --budget;
+      // The budget is sized from the checkpoint bound, which counts
+      // *logical* writes — but a failed program consumes a physical page
+      // without representing one, and its re-placement consumes another.
+      // Charging budget for such pages would make the scan stop short of
+      // the checkpoint horizon (dropping mappings the table never got),
+      // so only readable pages — the mapping candidates the bound
+      // actually counts — are charged.
+      if (!r.media_error) --budget;
       if (r.written) last_read_seq = r.spare.seq;
-      if (!r.written || !r.spare.IsUser()) continue;
+      // Failed-program pages keep their stamped seq (the horizon math
+      // above stays valid) but are never mapping candidates — their data
+      // was re-placed under a strictly newer seq before the write
+      // completed, so skipping them can never lose the newest copy.
+      if (!r.written || r.media_error || !r.spare.IsUser()) continue;
       Lpn lpn = r.spare.key;
       auto [it, inserted] = newest.emplace(lpn, Copy{addr, r.spare.seq});
       if (inserted) continue;
@@ -1295,6 +1395,10 @@ RecoveryReport BaseFtl::CrashAndRecover() {
   gc_victim_ = kInvalidU32;
   gc_victim_fresh_invalid_ = Bitmap();
   in_gc_ = false;
+  // The degraded flag is RAM state: a power cycle clears it, and if the
+  // retired blocks still leave no reclaimable space, the first
+  // post-recovery write re-derives it through the emergency path.
+  degraded_ = false;
   blocks_.set_compact_mode(false);
   scheduler_.ResetAfterCrash();
 
@@ -1314,6 +1418,16 @@ RecoveryReport BaseFtl::CrashAndRecover() {
   RecoverBvc(&report);           // step 5
   RecoverDirtyEntries(&report);  // steps 6-7
   OnRecoveryComplete(&report);   // persist re-derived state
+  // The entries the scan re-created are the pre-crash instance's
+  // un-checkpointed backlog, not freshly dirtied work: age them one epoch
+  // so the next checkpoint (not the one after) synchronizes them, and
+  // re-seed the cadence counter from the backlog so that checkpoint
+  // arrives on the schedule the crash interrupted. Without both, crash
+  // churn faster than the period resets the counter forever, no
+  // checkpoint ever fires, and mappings whose only copy ages past the
+  // backward scan's coverage horizon become silently unrecoverable.
+  cache_.AdvanceEpoch();
+  scheduler_.SeedCheckpointBacklog(cache_.dirty_count());
   SweepDeadMetadataBlocks();     // step 8: dispose of leftovers, resume
   last_recovery_seq_ = device_->CurrentSeq();
   return report;

@@ -69,7 +69,16 @@ class BaseFtl : public Ftl, private MaintenanceHost, private AsyncHost {
 
   RecoveryReport CrashAndRecover() override;
   uint64_t RamBytes() const override;
-  const FtlCounters& counters() const override { return counters_; }
+  /// Refreshes the fault-surface counters (remapped programs, grown bad
+  /// blocks, degraded flag) from the device and block manager on read.
+  const FtlCounters& counters() const override;
+
+  /// Sticky read-only degraded mode (fault tolerance): entered when GC can
+  /// no longer reclaim space below the emergency floor. Writes and trims
+  /// return kOutOfSpace; reads and flush keep working. A power cycle
+  /// clears the flag — if the retired blocks still leave no spare
+  /// capacity, the first post-recovery write re-derives it.
+  bool IsDegraded() const override { return degraded_; }
 
   FlashDevice& device() { return *device_; }
   const FtlConfig& config() const { return config_; }
@@ -252,6 +261,10 @@ class BaseFtl : public Ftl, private MaintenanceHost, private AsyncHost {
   uint32_t DeviceBlocks() const override {
     return device_->geometry().num_blocks;
   }
+  void OnSpaceExhausted() override { EnterDegradedMode(); }
+
+  /// Flips the sticky degraded flag (idempotent) and logs the transition.
+  void EnterDegradedMode();
 
 #ifdef GECKO_DEBUG_GC_GROUND_TRUTH
   /// Debug-only: aborts if `addr` is the authoritative location of the
@@ -300,11 +313,14 @@ class BaseFtl : public Ftl, private MaintenanceHost, private AsyncHost {
   /// starting one on `forced_victim` first if the cursor is idle (used by
   /// wear leveling to collect a specific block).
   void RunCollectionToCompletion(BlockId forced_victim);
-  /// Victim selection through the pluggable policy object.
+  /// Victim selection through the pluggable policy object. kInvalidU32
+  /// when no candidate exists (every non-free block active/pinned/
+  /// all-live, or grown bad blocks retired the spare capacity).
   BlockId SelectVictim();
 
   /// Erases `block` through the device, dropping stale translation images
-  /// first, and returns it to the free pool.
+  /// first, and returns it to the free pool — unless the block is marked
+  /// for retirement or its erase faults, in which case it is retired.
   void EraseBlockForGc(BlockId block, IoPurpose purpose);
 
   /// Inserts (or updates) a cache entry for a freshly written/migrated
@@ -361,7 +377,12 @@ class BaseFtl : public Ftl, private MaintenanceHost, private AsyncHost {
   /// migrating them. Pages written after it are exactly tracked, so
   /// crash-free operation pays nothing (DESIGN.md §3).
   uint64_t last_recovery_seq_ = 0;
-  FtlCounters counters_;
+  /// Mutable: counters() refreshes the device-derived fault counters
+  /// (remapped programs, grown bad blocks, degraded flag) on read.
+  mutable FtlCounters counters_;
+  /// Sticky read-only mode (see IsDegraded). Reset by a power cycle and
+  /// re-derived from the persistent physical state on the next write.
+  bool degraded_ = false;
   bool in_gc_ = false;  // guards re-entrant GC step execution
   /// While true (inside batched request servicing), ReportInvalid collects
   /// store records into pending_invalid_ instead of forwarding them one by

@@ -7,12 +7,13 @@ namespace gecko {
 BlockManager::BlockManager(FlashDevice* device, bool auto_erase_metadata)
     : device_(device),
       auto_erase_metadata_(auto_erase_metadata),
+      bad_blocks_(device),
       stripe_(device->geometry().num_channels),
       block_type_(device->geometry().num_blocks, PageType::kFree),
       meta_live_(device->geometry().num_blocks, 0),
       free_pool_(stripe_) {
   for (BlockId b = 0; b < device->geometry().num_blocks; ++b) {
-    PushFreeBlock(b);
+    PushFreeBlock(b);  // refuses factory-bad blocks
   }
   for (auto& actives : actives_) actives.assign(stripe_, kNullAddress);
 }
@@ -24,6 +25,10 @@ std::vector<PhysicalAddress>& BlockManager::ActivesFor(PageType type) {
 }
 
 void BlockManager::PushFreeBlock(BlockId block) {
+  // Retired blocks are free in the type maps but never usable: every path
+  // that refills the pool (construction, BID recovery, post-erase) funnels
+  // through here, so one check keeps bad blocks out of circulation.
+  if (device_->IsBadBlock(block)) return;
   free_pool_.Push(block, device_->ChannelOf(block));
 }
 
@@ -98,6 +103,32 @@ void BlockManager::OnMetadataPageInvalidated(PhysicalAddress addr) {
   if (auto_erase_metadata_) MaybeEraseMetadataBlock(addr.block);
 }
 
+void BlockManager::OnProgramFailed(PhysicalAddress addr) {
+  // A failed metadata program consumed a page AllocatePage counted live;
+  // it holds nothing and will never be invalidated, so uncount it.
+  PageType type = block_type_[addr.block];
+  if (type == PageType::kTranslation || type == PageType::kPvm) {
+    GECKO_CHECK_GT(meta_live_[addr.block], 0u);
+    --meta_live_[addr.block];
+  }
+  bad_blocks_.OnProgramFailed(addr.block);
+  if (!bad_blocks_.ShouldRetire(addr.block)) return;
+  // The block crossed its fail budget: stop appending to it. Live pages
+  // stay readable; EraseOrRetire finishes the job when GC (or the
+  // fully-invalid-metadata policy) reclaims the block.
+  for (auto& actives : actives_) {
+    for (PhysicalAddress& a : actives) {
+      if (a.IsValid() && a.block == addr.block) a = kNullAddress;
+    }
+  }
+  // Vacating the slot skips the usual retire-time re-check; a fully
+  // invalid metadata block would otherwise leak until shutdown.
+  if (auto_erase_metadata_ &&
+      (type == PageType::kTranslation || type == PageType::kPvm)) {
+    MaybeEraseMetadataBlock(addr.block);
+  }
+}
+
 IoPurpose BlockManager::ErasePurposeFor(PageType type) const {
   return type == PageType::kTranslation ? IoPurpose::kTranslation
                                         : IoPurpose::kPvm;
@@ -110,9 +141,31 @@ void BlockManager::MaybeEraseMetadataBlock(BlockId block) {
   if (meta_live_[block] != 0) return;
   if (IsActive(block) || IsPinned(block)) return;
   if (device_->PagesWritten(block) == 0) return;
-  device_->EraseBlock(block, ErasePurposeFor(block_type_[block]));
-  ++metadata_blocks_erased_;
+  if (EraseOrRetire(block, ErasePurposeFor(block_type_[block]))) {
+    ++metadata_blocks_erased_;
+  }
+}
+
+bool BlockManager::EraseOrRetire(BlockId block, IoPurpose purpose) {
+  if (bad_blocks_.ShouldRetire(block)) {
+    // Marked for retirement (fail budget exhausted) — or already retired
+    // in the medium. No erase attempt; the block leaves circulation.
+    device_->RetireBlock(block);
+    bad_blocks_.OnBlockRetired(block);
+    block_type_[block] = PageType::kFree;
+    meta_live_[block] = 0;
+    return false;
+  }
+  if (!device_->TryEraseBlock(block, purpose)) {
+    // Erase fault: the device retired the block.
+    bad_blocks_.OnBlockRetired(block);
+    block_type_[block] = PageType::kFree;
+    meta_live_[block] = 0;
+    return false;
+  }
+  bad_blocks_.OnBlockErased(block);
   OnBlockErased(block);
+  return true;
 }
 
 bool BlockManager::IsActive(BlockId block) const {
@@ -168,6 +221,9 @@ void BlockManager::ResetRamState() {
   }
   next_slot_.fill(0);
   pinned_.clear();
+  // Pending retirement marks are lost with the RAM; blocks already retired
+  // persist in the medium and PushFreeBlock keeps refusing them.
+  bad_blocks_.ResetRamState();
 }
 
 void BlockManager::RecoverFromBid(const std::vector<BidEntry>& bid) {

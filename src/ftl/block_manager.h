@@ -30,6 +30,7 @@
 #include "flash/flash_device.h"
 #include "flash/page_allocator.h"
 #include "flash/striped_free_pool.h"
+#include "ftl/bad_block_manager.h"
 
 namespace gecko {
 
@@ -44,6 +45,10 @@ class BlockManager : public PageAllocator {
   PhysicalAddress AllocatePage(PageType type,
                                uint32_t stream = kNoStream) override;
   void OnMetadataPageInvalidated(PhysicalAddress addr) override;
+  /// Feeds grown-bad bookkeeping; a block that crosses its fail budget is
+  /// closed to further allocation (its active slot, if any, is vacated)
+  /// and retired at its next EraseOrRetire.
+  void OnProgramFailed(PhysicalAddress addr) override;
 
   /// Compact mode (GC): allocations prefer the fullest already-open
   /// active and open a fresh block only when every slot is full. This
@@ -87,6 +92,17 @@ class BlockManager : public PageAllocator {
   /// Returns the erased `block` to the free pool (after GC).
   void OnBlockErased(BlockId block);
 
+  /// Fault-aware erase: erases `block` and returns it to the free pool
+  /// (true), unless the block is marked for retirement or the erase
+  /// itself faults — then the block is retired in the medium, leaves the
+  /// type maps as free-but-unusable, and never re-enters the pool
+  /// (false). The single erase primitive all reclamation goes through.
+  bool EraseOrRetire(BlockId block, IoPurpose purpose);
+
+  /// Grown-bad bookkeeping (fail counts, retirement policy, counters).
+  BadBlockManager& bad_blocks() { return bad_blocks_; }
+  const BadBlockManager& bad_blocks() const { return bad_blocks_; }
+
   /// All non-free blocks of a given type (victim-selection candidates and
   /// recovery scan lists).
   std::vector<BlockId> BlocksOfType(PageType type) const;
@@ -125,6 +141,7 @@ class BlockManager : public PageAllocator {
 
   FlashDevice* device_;
   bool auto_erase_metadata_;
+  BadBlockManager bad_blocks_;
   uint32_t stripe_;  // slots per group = geometry.num_channels
   std::vector<PageType> block_type_;
   std::vector<uint32_t> meta_live_;

@@ -57,6 +57,9 @@ struct FtlCounters {
   /// equality on read-only workloads).
   uint64_t miss_fetches = 0;
   uint64_t miss_joins = 0;
+  uint64_t remapped_programs = 0;  // failed programs re-placed transparently
+  uint64_t grown_bad_blocks = 0;   // blocks retired since the device shipped
+  uint64_t degraded_mode = 0;      // 1 while the FTL is in read-only mode
 };
 
 /// Device-time timeline of one completed async request, delivered to its
@@ -196,6 +199,14 @@ class Ftl {
 
   /// Logical-operation counters (flash IO lives in the device's IoStats).
   virtual const FtlCounters& counters() const = 0;
+
+  /// Whether the FTL is in sticky read-only degraded mode: grown bad
+  /// blocks ate the spare capacity GC needs, so writes and trims return
+  /// kOutOfSpace while reads and flush keep working. Sharded front ends
+  /// report true when ANY shard has degraded (each shard degrades — and
+  /// fails its writes — independently, without stalling its siblings).
+  virtual bool IsDegraded() const { return false; }
+
   /// Short display name ("GeckoFTL", "DFTL", ...). Never null.
   virtual const char* Name() const = 0;
 };

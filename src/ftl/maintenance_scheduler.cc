@@ -68,15 +68,32 @@ void MaintenanceScheduler::CollectToFloor() {
   // frees them), so progress is checked across collections, not per step.
   uint64_t rounds = 0;
   while (host_->FreeBlocks() < floor_) {
+    if (host_->FreeBlocks() == 0 && !host_->GcInFlight()) {
+      // Starting a fresh collection with nothing in the pool: even an
+      // all-invalid victim's erase record may need a page on a fresh
+      // metadata block. The pool is gone — degrade.
+      host_->OnSpaceExhausted();
+      return;
+    }
     bool erased = false;
     while (!erased) {
       GcStepOutcome o = host_->GcStep(~uint32_t{0});
-      GECKO_CHECK(o.advanced) << "GC state machine refused to advance";
+      if (!o.advanced) {
+        // No victim to collect (every non-free user block is all-live, or
+        // grown bad blocks retired the spare capacity): space cannot be
+        // reclaimed. Degrade instead of crashing.
+        host_->OnSpaceExhausted();
+        return;
+      }
       erased = o.erased;
     }
     ++stats_.collections_completed;
-    GECKO_CHECK_LE(++rounds, uint64_t{2} * host_->DeviceBlocks())
-        << "GC livelock: no net space reclaimed";
+    if (++rounds > uint64_t{2} * host_->DeviceBlocks()) {
+      // Collections complete but never net a block above the floor —
+      // the write-amplification death spiral of a device out of spares.
+      host_->OnSpaceExhausted();
+      return;
+    }
   }
 }
 
@@ -135,6 +152,14 @@ void MaintenanceScheduler::ResetAfterCrash() {
   credits_ = 0;
   cache_ops_since_checkpoint_ = 0;
   ticks_since_flush_ = 0;
+}
+
+void MaintenanceScheduler::SeedCheckpointBacklog(uint64_t backlog) {
+  if (checkpoint_period_ == 0) return;
+  // Clamped to the period: a backlog at or beyond it means the very next
+  // cache op triggers a checkpoint, which is the strongest the cadence
+  // can say.
+  cache_ops_since_checkpoint_ = std::min<uint64_t>(backlog, checkpoint_period_);
 }
 
 }  // namespace gecko

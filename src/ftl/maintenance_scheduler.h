@@ -84,6 +84,12 @@ class MaintenanceHost {
 
   /// Device size, for the GC livelock bound.
   virtual uint32_t DeviceBlocks() const = 0;
+
+  /// GC can no longer reclaim space: the pool is below the emergency
+  /// floor and either no victim exists or collections stopped netting
+  /// blocks (grown bad blocks ate the spare capacity). The host enters
+  /// sticky read-only degraded mode instead of crashing.
+  virtual void OnSpaceExhausted() = 0;
 };
 
 /// Counters describing what the maintenance plane has done. Exposed to
@@ -129,6 +135,16 @@ class MaintenanceScheduler {
   /// Drops volatile pacing state after a power failure (credits, cadence
   /// counters). The in-flight GC cursor dies with the host's RAM.
   void ResetAfterCrash();
+
+  /// Re-seeds the checkpoint cadence counter from the dirty backlog the
+  /// recovery scan re-created. The counter itself is RAM state: if each
+  /// crash reset it to zero, crashes arriving faster than the period
+  /// would starve checkpoints forever while the dirty backlog (and the
+  /// span of flash the recovery scan must cover) kept growing past the
+  /// scan's budget — at which point mappings older than the coverage
+  /// horizon are silently unrecoverable. Seeding with the backlog makes
+  /// the next checkpoint arrive as if the crash never cleared the count.
+  void SeedCheckpointBacklog(uint64_t backlog);
 
   const MaintenanceStats& stats() const { return stats_; }
   uint32_t emergency_floor() const { return floor_; }

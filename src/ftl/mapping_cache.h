@@ -110,6 +110,15 @@ class MappingCache {
 
   uint64_t epoch() const { return epoch_; }
 
+  /// Advances the checkpoint epoch without taking a checkpoint, so every
+  /// currently-dirty entry becomes due at the *next* TakeCheckpoint
+  /// instead of the one after. Recovery uses this on the entries it
+  /// re-inserts from the backward scan: they are not freshly dirtied
+  /// work, they are the pre-crash instance's un-checkpointed backlog, and
+  /// granting them a full extra period would let crash churn outrun the
+  /// scan's coverage.
+  void AdvanceEpoch() { ++epoch_; }
+
   uint32_t size() const { return static_cast<uint32_t>(entries_.size()); }
   uint32_t capacity() const { return capacity_; }
   uint32_t dirty_count() const { return dirty_count_; }

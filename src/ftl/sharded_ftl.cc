@@ -82,7 +82,10 @@ ShardedFtl::ShardedFtl(const ShardedFtlOptions& options, FtlFactory factory)
   shards_.reserve(options.num_shards);
   for (uint32_t s = 0; s < options.num_shards; ++s) {
     auto shard = std::make_unique<Shard>(lock_free_queue_);
-    shard->device = std::make_unique<FlashDevice>(slice, options.latency);
+    FaultConfig shard_faults = options.faults;
+    shard_faults.seed = options.faults.seed + s;
+    shard->device =
+        std::make_unique<FlashDevice>(slice, options.latency, shard_faults);
     shard->ftl = factory(shard->device.get(), options.config);
     GECKO_CHECK(shard->ftl != nullptr);
     shards_.push_back(std::move(shard));
@@ -391,8 +394,22 @@ const FtlCounters& ShardedFtl::counters() const {
     merged_counters_.cache_misses += c.cache_misses;
     merged_counters_.miss_fetches += c.miss_fetches;
     merged_counters_.miss_joins += c.miss_joins;
+    merged_counters_.remapped_programs += c.remapped_programs;
+    merged_counters_.grown_bad_blocks += c.grown_bad_blocks;
+    // Degraded is an any-shard condition, not a sum.
+    merged_counters_.degraded_mode |= c.degraded_mode;
   }
   return merged_counters_;
+}
+
+bool ShardedFtl::IsDegraded() const {
+  // Any-shard semantics: each shard degrades (and fails its writes)
+  // independently without stalling its siblings; the front end reports
+  // the device as degraded as soon as one shard is.
+  for (const auto& shard : shards_) {
+    if (shard->ftl->IsDegraded()) return true;
+  }
+  return false;
 }
 
 const char* ShardedFtl::Name() const { return name_.c_str(); }

@@ -109,6 +109,12 @@ struct ShardedFtlOptions {
   /// mapping entries (the LFTL rule: one chunk's mappings live on one
   /// shard-private translation page), clamped to the shard size.
   uint64_t chunk_lpns = 0;
+  /// Media-fault plane applied to every shard's device slice. Each shard
+  /// gets its own FaultModel seeded with `faults.seed + shard_index`, so
+  /// fault sequences are uncorrelated across shards while one seed still
+  /// reproduces the whole run. Default: perfect medium (with faults
+  /// disabled, num_shards == 1 stays bit-identical to the unsharded FTL).
+  FaultConfig faults;
 };
 
 /// Aggregated front-end statistics (all counters are cumulative).
@@ -180,6 +186,13 @@ class ShardedFtl : public Ftl {
   /// Merged inner-FTL counters (quiescence only). With num_shards == 1
   /// this is exactly the inner FTL's counters.
   const FtlCounters& counters() const override;
+
+  /// True when ANY shard is in sticky read-only degraded mode (quiescence
+  /// only, like counters()). A degraded shard fails its own writes with
+  /// kOutOfSpace while sibling shards keep serving theirs — the per-extent
+  /// statuses carry the degradation to the host without stalling anyone;
+  /// reads work everywhere.
+  bool IsDegraded() const override;
 
   const char* Name() const override;
 

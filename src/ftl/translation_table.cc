@@ -45,11 +45,15 @@ PhysicalAddress TranslationTable::CommitTPage(
   // Stream = the translation page id: all versions of one tpage append to
   // one stripe slot (they supersede each other, so their blocks free
   // wholesale), while different tpages commit on different channels.
-  PhysicalAddress fresh = allocator_->AllocatePage(PageType::kTranslation, t);
   SpareArea spare;
   spare.type = PageType::kTranslation;
   spare.key = t;
-  device_->WritePage(fresh, spare, t, purpose);
+  // A program fault re-places the version transparently; only the page
+  // that actually holds the committed image enters the GMD.
+  PhysicalAddress fresh = AllocateAndProgram(device_, allocator_,
+                                             PageType::kTranslation, t, spare,
+                                             t, purpose)
+                              .addr;
   images_[device_->FlatIndex(fresh)] = VersionImage{t, std::move(mappings)};
   gmd_[t] = fresh;
   if (old.IsValid()) {
@@ -95,7 +99,10 @@ uint64_t TranslationTable::RecoverGmd(
       PageReadResult r = device_->ReadSpare(addr, IoPurpose::kRecovery);
       ++spare_reads;
       if (!r.written) break;
-      if (!r.spare.IsTranslation()) continue;
+      // Failed-program pages carry a stamped spare but no image: the
+      // committed version was re-placed under a newer seq, so skipping
+      // them never loses the current version.
+      if (r.media_error || !r.spare.IsTranslation()) continue;
       TPageId t = r.spare.key;
       GECKO_CHECK_LT(t, num_tpages_);
       v[t].versions.push_back(TPageVersion{addr, r.spare.seq});

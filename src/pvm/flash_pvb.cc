@@ -36,12 +36,15 @@ void FlashPvb::ReadModifyWrite(uint32_t c, Fn mutate) {
   // share a few low-numbered chunks. Recovery is placement-agnostic (the
   // spare's key carries the chunk id), so successive versions are free to
   // stripe and concurrent in-flight requests commit chunks in parallel.
-  PhysicalAddress fresh = allocator_->AllocatePage(PageType::kPvm);
   SpareArea spare;
   spare.type = PageType::kPvm;
   spare.key = c;  // chunk id, used by the recovery scan
   spare.aux = 0;
-  device_->WritePage(fresh, spare, c, IoPurpose::kPvm);
+  // A program fault re-places the chunk version transparently.
+  PhysicalAddress fresh = AllocateAndProgram(device_, allocator_,
+                                             PageType::kPvm, kNoStream, spare,
+                                             c, IoPurpose::kPvm)
+                              .addr;
   chunk_locations_[c] = fresh;
   if (old.IsValid()) {
     allocator_->OnMetadataPageInvalidated(old);
@@ -138,7 +141,8 @@ FlashPvb::RecoveryInfo FlashPvb::Recover(
       PageReadResult r = device_->ReadSpare(addr, IoPurpose::kRecovery);
       ++info.spare_reads;
       if (!r.written) break;
-      if (!r.spare.IsPvm()) continue;
+      // Failed-program pages were re-placed under a newer seq; skip them.
+      if (r.media_error || !r.spare.IsPvm()) continue;
       uint32_t c = r.spare.key;
       auto it = newest_seq.find(c);
       if (it == newest_seq.end() || r.spare.seq > it->second) {

@@ -58,7 +58,6 @@ void PageValidityLog::FlushBuffer() {
   if (buffer_.empty()) return;
   LogPage page;
   page.id = next_page_id_++;
-  page.addr = allocator_->AllocatePage(PageType::kPvm);
   // Resolve buffer-internal chain links now that slots are known.
   for (uint32_t i = 0; i < buffer_.size(); ++i) {
     Record r = buffer_[i];
@@ -71,7 +70,10 @@ void PageValidityLog::FlushBuffer() {
   spare.type = PageType::kPvm;
   spare.key = static_cast<uint32_t>(page.id);
   spare.aux = 0;
-  device_->WritePage(page.addr, spare, page.id, IoPurpose::kPvm);
+  // A program fault re-places the log page transparently.
+  page.addr = AllocateAndProgram(device_, allocator_, PageType::kPvm,
+                                 kNoStream, spare, page.id, IoPurpose::kPvm)
+                  .addr;
   total_records_ += page.records.size();
 
   // Update heads that pointed into the buffer.
@@ -202,11 +204,13 @@ bool PageValidityLog::RelocateIfLive(PhysicalAddress addr) {
   for (LogPage& page : log_pages_) {
     if (page.addr == addr) {
       device_->ReadPage(addr, IoPurpose::kPvm);
-      PhysicalAddress fresh = allocator_->AllocatePage(PageType::kPvm);
       SpareArea spare;
       spare.type = PageType::kPvm;
       spare.key = static_cast<uint32_t>(page.id);
-      device_->WritePage(fresh, spare, page.id, IoPurpose::kPvm);
+      PhysicalAddress fresh =
+          AllocateAndProgram(device_, allocator_, PageType::kPvm, kNoStream,
+                             spare, page.id, IoPurpose::kPvm)
+              .addr;
       allocator_->OnMetadataPageInvalidated(addr);
       page.addr = fresh;
       return true;

@@ -29,7 +29,30 @@ enum class StatusCode {
   /// power failure hit while it was queued or executing. Its effects are
   /// indeterminate, like an NVMe command outstanding at reset.
   kAborted,
+  /// The flash medium failed the operation: an uncorrectable (hard) read
+  /// fault that survived the retry budget, or a read of a page retired by
+  /// a program/erase fault. Distinct from kCorruption, which means the
+  /// FTL's own metadata is inconsistent.
+  kIoError,
 };
+
+/// Name of a StatusCode enumerator. Exhaustive: no default case, so adding
+/// an enumerator without a name is a -Wswitch warning (error under
+/// GECKO_WERROR), not silent garbage at runtime.
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kOutOfSpace: return "OUT_OF_SPACE";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kCorruption: return "CORRUPTION";
+    case StatusCode::kQueueFull: return "QUEUE_FULL";
+    case StatusCode::kAborted: return "ABORTED";
+    case StatusCode::kIoError: return "IO_ERROR";
+  }
+  return "UNKNOWN";  // Unreachable for in-range values.
+}
 
 /// Result of an operation that can fail. Cheap to copy when OK.
 class Status {
@@ -60,6 +83,9 @@ class Status {
   static Status Aborted(std::string m) {
     return Status(StatusCode::kAborted, std::move(m));
   }
+  static Status IoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -67,18 +93,7 @@ class Status {
 
   std::string ToString() const {
     if (ok()) return "OK";
-    const char* name = "UNKNOWN";
-    switch (code_) {
-      case StatusCode::kOk: name = "OK"; break;
-      case StatusCode::kInvalidArgument: name = "INVALID_ARGUMENT"; break;
-      case StatusCode::kNotFound: name = "NOT_FOUND"; break;
-      case StatusCode::kOutOfSpace: name = "OUT_OF_SPACE"; break;
-      case StatusCode::kFailedPrecondition: name = "FAILED_PRECONDITION"; break;
-      case StatusCode::kCorruption: name = "CORRUPTION"; break;
-      case StatusCode::kQueueFull: name = "QUEUE_FULL"; break;
-      case StatusCode::kAborted: name = "ABORTED"; break;
-    }
-    return std::string(name) + ": " + message_;
+    return std::string(StatusCodeName(code_)) + ": " + message_;
   }
 
  private:

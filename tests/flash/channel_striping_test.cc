@@ -126,13 +126,15 @@ TEST(ChannelStripingTest, EightChannelsBeatOneByAtLeastThreeX) {
 // window end). A tight cache, deep batched churn, and repeated crashes
 // on an 8-channel device hit both.
 TEST(ChannelStripingTest, DeepDirtySetSurvivesCrashOnStripedLayout) {
+  const uint64_t seed = FuzzSeed(1234);
+  GECKO_TRACE_FUZZ_SEED(seed);
   for (uint32_t channels : {4u, 8u}) {
     for (const char* name : {"GeckoFTL", "IB-FTL"}) {
       FlashDevice device(FtlTestGeometry(channels));
       auto ftl = MakeFtl(name, &device, /*cache_capacity=*/24);
       const uint64_t n = device.geometry().NumLogicalPages();
       std::map<Lpn, uint64_t> shadow;
-      Rng rng(1234 + channels);
+      Rng rng(seed + channels);
       uint64_t version = 0;
 
       for (int round = 0; round < 6; ++round) {

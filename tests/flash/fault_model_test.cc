@@ -1,0 +1,242 @@
+// Unit tests for the media-fault plane: seeded determinism, each fault
+// class's device-level semantics, rate gating, and the AllocateAndProgram
+// re-placement primitive all fault-tolerant writes go through.
+
+#include "flash/fault_model.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "flash/flash_device.h"
+#include "flash/page_allocator.h"
+#include "flash/simple_allocator.h"
+
+namespace gecko {
+namespace {
+
+Geometry SmallGeometry() {
+  Geometry g;
+  g.num_blocks = 8;
+  g.pages_per_block = 4;
+  g.page_bytes = 512;
+  g.logical_ratio = 0.7;
+  return g;
+}
+
+SpareArea UserSpare(Lpn lpn) {
+  SpareArea s;
+  s.type = PageType::kUser;
+  s.key = lpn;
+  return s;
+}
+
+TEST(FaultModelTest, DisabledConfigNeverFaults) {
+  // The master switch short-circuits every rate, even at 1.0 — a
+  // default-constructed device is a perfect medium.
+  FaultConfig cfg;
+  cfg.enabled = false;
+  cfg.transient_read_fault_rate = 1.0;
+  cfg.hard_read_fault_rate = 1.0;
+  cfg.program_fault_rate = 1.0;
+  cfg.erase_fault_rate = 1.0;
+  FlashDevice dev(SmallGeometry(), LatencyModel(), cfg);
+  for (uint32_t p = 0; p < 4; ++p) {
+    ProgramResult r =
+        dev.ProgramPage({0, p}, UserSpare(p), 100 + p, IoPurpose::kUserWrite);
+    EXPECT_TRUE(r.ok);
+  }
+  for (uint32_t p = 0; p < 4; ++p) {
+    PageReadResult r = dev.ReadPage({0, p}, IoPurpose::kUserRead);
+    EXPECT_FALSE(r.media_error);
+    EXPECT_EQ(r.payload, 100u + p);
+  }
+  EXPECT_TRUE(dev.TryEraseBlock(0, IoPurpose::kGcMigration));
+  EXPECT_EQ(dev.stats().transient_read_faults(), 0u);
+  EXPECT_EQ(dev.stats().hard_read_faults(), 0u);
+  EXPECT_EQ(dev.stats().program_faults(), 0u);
+  EXPECT_EQ(dev.stats().erase_faults(), 0u);
+}
+
+TEST(FaultModelTest, SeededRollsAreDeterministic) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.seed = 42;
+  cfg.program_fault_rate = 0.5;
+  FaultModel a(cfg);
+  FaultModel b(cfg);
+  cfg.seed = 43;
+  FaultModel c(cfg);
+  std::vector<bool> rolls_a, rolls_b, rolls_c;
+  for (uint32_t i = 0; i < 128; ++i) {
+    PhysicalAddress addr{i % 8, i % 4};
+    rolls_a.push_back(a.RollProgramFault(addr));
+    rolls_b.push_back(b.RollProgramFault(addr));
+    rolls_c.push_back(c.RollProgramFault(addr));
+  }
+  EXPECT_EQ(rolls_a, rolls_b);  // same seed, same fault sequence
+  EXPECT_NE(rolls_a, rolls_c);  // 128 coin flips: collision is 2^-128
+}
+
+TEST(FaultModelTest, TransientReadFaultCostsLatencyNotData) {
+  FlashDevice dev(SmallGeometry());
+  dev.WritePage({1, 0}, UserSpare(7), 777, IoPurpose::kUserWrite);
+  dev.fault_model().ArmTransientReadFault({1, 0}, 2);
+
+  uint64_t subs_before = dev.stats().total_submissions();
+  PageReadResult r = dev.ReadPage({1, 0}, IoPurpose::kUserRead);
+  EXPECT_FALSE(r.media_error);
+  EXPECT_EQ(r.payload, 777u);  // data intact: the retries absorbed it
+  EXPECT_EQ(dev.stats().transient_read_faults(), 1u);
+  EXPECT_EQ(dev.stats().read_retries(), 2u);
+  // 1 host read + 2 retry ops occupied the channel.
+  EXPECT_EQ(dev.stats().total_submissions() - subs_before, 3u);
+  // But only one logical page read is charged to the purpose counters.
+  EXPECT_EQ(dev.stats().counters().ReadsFor(IoPurpose::kUserRead), 1u);
+
+  // The trigger disarmed; the next read is clean.
+  r = dev.ReadPage({1, 0}, IoPurpose::kUserRead);
+  EXPECT_EQ(dev.stats().read_retries(), 2u);
+  EXPECT_FALSE(dev.fault_model().HasArmedTriggers());
+}
+
+TEST(FaultModelTest, HardReadFaultSurfacesMediaErrorOnce) {
+  FlashDevice dev(SmallGeometry());
+  dev.WritePage({1, 0}, UserSpare(7), 777, IoPurpose::kUserWrite);
+  dev.fault_model().ArmHardReadFault({1, 0});
+
+  PageReadResult r = dev.ReadPage({1, 0}, IoPurpose::kUserRead);
+  EXPECT_TRUE(r.media_error);
+  EXPECT_EQ(r.payload, 0u);  // payload must not be trusted
+  EXPECT_EQ(dev.stats().hard_read_faults(), 1u);
+
+  // One-shot trigger: the page itself is fine afterwards.
+  r = dev.ReadPage({1, 0}, IoPurpose::kUserRead);
+  EXPECT_FALSE(r.media_error);
+  EXPECT_EQ(r.payload, 777u);
+}
+
+TEST(FaultModelTest, RateBasedHardFaultsGateOnUserReads) {
+  // hard_read_fault_rate models user-data UBER; metadata and recovery
+  // reads keep their (ECC-backed) durability story.
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.hard_read_fault_rate = 1.0;
+  FlashDevice dev(SmallGeometry(), LatencyModel(), cfg);
+  dev.WritePage({1, 0}, UserSpare(7), 777, IoPurpose::kUserWrite);
+
+  EXPECT_FALSE(dev.ReadPage({1, 0}, IoPurpose::kTranslation).media_error);
+  EXPECT_FALSE(dev.ReadPage({1, 0}, IoPurpose::kRecovery).media_error);
+  EXPECT_FALSE(dev.ReadSpare({1, 0}, IoPurpose::kUserRead).media_error);
+  EXPECT_TRUE(dev.ReadPage({1, 0}, IoPurpose::kUserRead).media_error);
+}
+
+TEST(FaultModelTest, ProgramFaultConsumesPageAndKeepsSpareOrder) {
+  FlashDevice dev(SmallGeometry());
+  dev.fault_model().ArmProgramFault(2, 1);
+
+  ProgramResult bad = dev.ProgramPage({2, 0}, UserSpare(5), 555,
+                                      IoPurpose::kUserWrite);
+  EXPECT_FALSE(bad.ok);
+  EXPECT_GT(bad.seq, 0u);
+  // The attempt consumed the page: the write pointer advanced and the
+  // next program lands on page 1.
+  EXPECT_EQ(dev.PagesWritten(2), 1u);
+  ProgramResult good = dev.ProgramPage({2, 1}, UserSpare(5), 555,
+                                       IoPurpose::kUserWrite);
+  EXPECT_TRUE(good.ok);
+  EXPECT_GT(good.seq, bad.seq);  // seq stays monotone across the fault
+
+  // The bad page reads media_error with its stamped spare (ordering for
+  // recovery scans), but zeroed data.
+  PageReadResult r = dev.ReadPage({2, 0}, IoPurpose::kUserRead);
+  EXPECT_TRUE(r.written);
+  EXPECT_TRUE(r.media_error);
+  EXPECT_EQ(r.payload, 0u);
+  EXPECT_EQ(r.spare.seq, bad.seq);
+  r = dev.ReadSpare({2, 0}, IoPurpose::kRecovery);
+  EXPECT_TRUE(r.media_error);
+  EXPECT_EQ(r.spare.key, 5u);
+
+  // The re-placed copy is untouched.
+  EXPECT_EQ(dev.ReadPage({2, 1}, IoPurpose::kUserRead).payload, 555u);
+  EXPECT_EQ(dev.stats().program_faults(), 1u);
+
+  // An erase clears the bad page along with the block.
+  EXPECT_TRUE(dev.TryEraseBlock(2, IoPurpose::kGcMigration));
+  EXPECT_FALSE(dev.ReadSpare({2, 0}, IoPurpose::kRecovery).media_error);
+  ProgramResult again = dev.ProgramPage({2, 0}, UserSpare(6), 666,
+                                        IoPurpose::kUserWrite);
+  EXPECT_TRUE(again.ok);
+}
+
+TEST(FaultModelTest, EraseFaultRetiresBlockPermanently) {
+  FlashDevice dev(SmallGeometry());
+  for (uint32_t p = 0; p < 4; ++p) {
+    dev.WritePage({3, p}, UserSpare(p), p, IoPurpose::kUserWrite);
+  }
+  dev.fault_model().ArmEraseFault(3);
+
+  EXPECT_FALSE(dev.TryEraseBlock(3, IoPurpose::kGcMigration));
+  EXPECT_TRUE(dev.IsBadBlock(3));
+  EXPECT_EQ(dev.NumBadBlocks(), 1u);
+  EXPECT_EQ(dev.stats().erase_faults(), 1u);
+  // Retired: reads of the block are media_error, pages are gone.
+  EXPECT_TRUE(dev.ReadPage({3, 0}, IoPurpose::kUserRead).media_error);
+  EXPECT_TRUE(dev.ReadSpare({3, 1}, IoPurpose::kRecovery).media_error);
+}
+
+TEST(FaultModelTest, FactoryBadBlocksShipRetired) {
+  FaultConfig cfg;
+  cfg.factory_bad = {1, 5};
+  FlashDevice dev(SmallGeometry(), LatencyModel(), cfg);
+  EXPECT_TRUE(dev.IsBadBlock(1));
+  EXPECT_TRUE(dev.IsBadBlock(5));
+  EXPECT_FALSE(dev.IsBadBlock(0));
+  EXPECT_EQ(dev.NumBadBlocks(), 2u);
+  EXPECT_TRUE(dev.ReadSpare({5, 0}, IoPurpose::kRecovery).media_error);
+}
+
+TEST(FaultModelDeathTest, WritePageAbortsOnProgramFault) {
+  // The legacy non-fault-aware write contract: code that cannot re-place
+  // data must not run with program faults enabled.
+  FlashDevice dev(SmallGeometry());
+  dev.fault_model().ArmProgramFault(0, 1);
+  EXPECT_DEATH(dev.WritePage({0, 0}, UserSpare(1), 1, IoPurpose::kUserWrite),
+               "program fault");
+}
+
+TEST(FaultModelDeathTest, EraseBlockAbortsOnEraseFault) {
+  FlashDevice dev(SmallGeometry());
+  dev.WritePage({0, 0}, UserSpare(1), 1, IoPurpose::kUserWrite);
+  dev.fault_model().ArmEraseFault(0);
+  EXPECT_DEATH(dev.EraseBlock(0, IoPurpose::kGcMigration), "erase fault");
+}
+
+TEST(FaultModelTest, AllocateAndProgramRePlacesAcrossFaults) {
+  Geometry g = SmallGeometry();
+  FlashDevice dev(g);
+  SimpleAllocator alloc(&dev, 0, g.num_blocks);
+
+  // Learn where the allocator appends, then fail the next two programs
+  // landing there: the primitive must absorb both and land good data.
+  PlacedProgram first = AllocateAndProgram(&dev, &alloc, PageType::kPvm,
+                                           kNoStream, UserSpare(1), 11,
+                                           IoPurpose::kPvm);
+  EXPECT_EQ(first.remaps, 0u);
+  dev.fault_model().ArmProgramFault(first.addr.block, 2);
+
+  PlacedProgram placed = AllocateAndProgram(&dev, &alloc, PageType::kPvm,
+                                            kNoStream, UserSpare(2), 22,
+                                            IoPurpose::kPvm);
+  EXPECT_EQ(placed.remaps, 2u);
+  PageReadResult r = dev.ReadPage(placed.addr, IoPurpose::kUserRead);
+  EXPECT_FALSE(r.media_error);
+  EXPECT_EQ(r.payload, 22u);
+  EXPECT_EQ(r.spare.seq, placed.seq);
+  EXPECT_EQ(dev.stats().program_faults(), 2u);
+  EXPECT_FALSE(dev.fault_model().HasArmedTriggers());
+}
+
+}  // namespace
+}  // namespace gecko

@@ -361,6 +361,8 @@ TEST_P(AsyncSubmitTest, CrashAbortsInFlightAndRecoversDurableState) {
 }
 
 TEST_P(AsyncSubmitTest, CrashChurnWithRequestsInFlightStaysSound) {
+  const uint64_t seed = FuzzSeed(131);
+  GECKO_TRACE_FUZZ_SEED(seed);
   FlashDevice device(Geo());
   auto ftl = MakeFtl(FtlName(), &device, 128,
                      [](FtlConfig& c) { c.async_queue_depth = 8; });
@@ -373,7 +375,7 @@ TEST_P(AsyncSubmitTest, CrashChurnWithRequestsInFlightStaysSound) {
     acked[lpn] = lpn;
   }
 
-  Rng rng(131);
+  Rng rng(seed);
   uint64_t version = 10000;
   for (int round = 0; round < 4; ++round) {
     std::unordered_map<Lpn, std::vector<uint64_t>> pending;
@@ -480,6 +482,8 @@ TEST_P(AsyncSubmitTest, CrashChurnDuringMissFetchesKeepsGaugesClean) {
   // mid-flight and sometimes after a drain. Every callback fires exactly
   // once (kAborted or success), no waiting-list entry or gauge tick
   // leaks, and recovery always serves the original data.
+  const uint64_t seed = FuzzSeed(977);
+  GECKO_TRACE_FUZZ_SEED(seed);
   FlashDevice device(Geo());
   auto ftl = MakeFtl(FtlName(), &device, 4,
                      [](FtlConfig& c) { c.async_queue_depth = 8; });
@@ -489,7 +493,7 @@ TEST_P(AsyncSubmitTest, CrashChurnDuringMissFetchesKeepsGaugesClean) {
   }
   ASSERT_TRUE(ftl->Flush().ok());
 
-  Rng rng(977);
+  Rng rng(seed);
   for (int round = 0; round < 6; ++round) {
     int submitted = 0;
     int observed = 0;

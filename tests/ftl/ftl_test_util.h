@@ -4,6 +4,7 @@
 #ifndef GECKOFTL_TESTS_FTL_FTL_TEST_UTIL_H_
 #define GECKOFTL_TESTS_FTL_FTL_TEST_UTIL_H_
 
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
@@ -61,6 +62,25 @@ inline std::string FtlChannelParamName(
                                            "uFTL", "IB-FTL"),             \
                          ::testing::Values(1u, 4u)),                      \
       FtlChannelParamName)
+
+/// Base seed for randomized (fuzz / crash-churn) tests. A GECKO_FUZZ_SEED
+/// environment variable overrides the suite default, so a failure seen in
+/// CI can be replayed exactly. Pair with GECKO_TRACE_FUZZ_SEED so the
+/// active seed is printed when the test fails.
+inline uint64_t FuzzSeed(uint64_t default_seed) {
+  const char* env = std::getenv("GECKO_FUZZ_SEED");
+  if (env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return default_seed;
+}
+
+/// Records the active fuzz seed on the test scope: any assertion failure
+/// below this line prints the seed and the rerun incantation.
+#define GECKO_TRACE_FUZZ_SEED(seed)                    \
+  SCOPED_TRACE(::testing::Message()                    \
+               << "fuzz seed " << (seed)               \
+               << " (rerun with GECKO_FUZZ_SEED=" << (seed) << ")")
 
 /// Config mutation applied on top of an FTL's DefaultConfig (watermark /
 /// maintenance overrides in the scheduler tests).

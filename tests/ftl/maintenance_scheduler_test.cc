@@ -172,15 +172,17 @@ TEST_P(MaintenanceTest, CrashAtEveryGcStepBoundaryRecovers) {
 }
 
 TEST_P(MaintenanceTest, RandomCrashChurnAcrossIncrementalCollections) {
+  const uint64_t seed = FuzzSeed(17);
+  GECKO_TRACE_FUZZ_SEED(seed);
   FlashDevice device(Geo());
   auto ftl = MakeFtl(FtlName(), &device, 96, IncrementalTweak);
   BaseFtl* base = AsBase(ftl.get());
   ShadowHarness shadow(ftl.get(), device.geometry().NumLogicalPages());
-  Rng rng(17);
+  Rng rng(seed);
   for (Lpn lpn = 0; lpn < shadow.num_lpns(); ++lpn) {
     if (rng.Uniform(10) < 9) shadow.Write(lpn);
   }
-  ZipfWorkload zipf(shadow.num_lpns(), 0.8, 19);
+  ZipfWorkload zipf(shadow.num_lpns(), 0.8, seed + 2);
   uint64_t mid_flight_crashes = 0;
   for (int round = 0; round < 25; ++round) {
     uint64_t burst = 100 + rng.Uniform(400);

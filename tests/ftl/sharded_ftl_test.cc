@@ -7,6 +7,7 @@
 #include "ftl/sharded_ftl.h"
 
 #include <atomic>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -421,6 +422,83 @@ TEST_P(ShardedFtlTest, ConcurrentSubmittersDisjointRanges) {
   // Merged counters see every thread's extents.
   EXPECT_EQ(sharded->counters().writes,
             static_cast<uint64_t>(kThreads) * 60 * 4);
+}
+
+// Per-shard graceful degradation: when one shard's spare blocks run out
+// (every erase fails under fault injection), that shard alone goes
+// read-only. Its write extents bounce with kOutOfSpace through the normal
+// completion path while sibling shards keep accepting writes — a degraded
+// shard must never stall the others — and reads verify everywhere.
+TEST_P(ShardedFtlTest, DegradedShardFailsWritesWithoutStallingSiblings) {
+  ShardedFtlOptions options;
+  options.geometry = FtlTestGeometry(4);
+  options.num_shards = 2;
+  options.config = DefaultConfigFor(FtlName(), 64);
+  options.lock_free_queue = LockFree();
+  options.faults.enabled = true;
+  options.faults.seed = FuzzSeed(5501);
+  options.faults.erase_fault_rate = 1.0;  // every GC erase retires its block
+  GECKO_TRACE_FUZZ_SEED(options.faults.seed);
+  auto sharded = std::make_unique<ShardedFtl>(options, FactoryFor(FtlName()));
+  const ShardMap& map = sharded->shard_map();
+
+  // A hot set living entirely on shard 0: only shard 0 churns, so only
+  // shard 0 retires blocks and degrades.
+  std::vector<Lpn> hot;
+  for (Lpn g = 0; hot.size() < 64; ++g) {
+    if (map.ShardOf(g) == 0) hot.push_back(g);
+  }
+  Lpn sibling_lpn = 0;
+  while (map.ShardOf(sibling_lpn) != 1) ++sibling_lpn;
+
+  std::map<Lpn, uint64_t> shadow;
+  uint64_t version = 0;
+  bool degraded = false;
+  for (int i = 0; i < 30000 && !degraded; ++i) {
+    Lpn lpn = hot[i % hot.size()];
+    uint64_t token = ++version;
+    Status s = sharded->Write(lpn, token);
+    if (s.ok()) {
+      shadow[lpn] = token;
+    } else {
+      ASSERT_EQ(s.code(), StatusCode::kOutOfSpace) << s.ToString();
+      degraded = true;
+    }
+  }
+  ASSERT_TRUE(degraded) << "shard 0 never exhausted its spares";
+
+  // Quiescent introspection: exactly shard 0 is degraded, and the
+  // aggregate view reports it.
+  EXPECT_TRUE(sharded->IsDegraded());
+  EXPECT_TRUE(sharded->shard_ftl(0).IsDegraded());
+  EXPECT_FALSE(sharded->shard_ftl(1).IsDegraded());
+  EXPECT_EQ(sharded->counters().degraded_mode, 1u);
+  EXPECT_GT(sharded->counters().grown_bad_blocks, 0u);
+
+  // The sibling shard still takes writes.
+  ASSERT_TRUE(sharded->Write(sibling_lpn, 777).ok());
+
+  // A batch spanning both shards: the shard-0 extent bounces, the
+  // shard-1 extent completes — per-extent statuses, no cross-stall.
+  IoRequest request(IoOp::kWrite);
+  request.Add(hot[0], 111111);
+  request.Add(sibling_lpn, 778);
+  IoResult result;
+  ASSERT_TRUE(sharded->Submit(request, &result).ok());
+  ASSERT_EQ(result.extent_status.size(), 2u);
+  EXPECT_EQ(result.extent_status[0].code(), StatusCode::kOutOfSpace);
+  EXPECT_TRUE(result.extent_status[1].ok());
+
+  // Read-only service on the degraded shard: the survivors verify.
+  for (const auto& [lpn, token] : shadow) {
+    uint64_t got = 0;
+    Status s = sharded->Read(lpn, &got);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    ASSERT_EQ(got, token) << "wrong data for lpn " << lpn;
+  }
+  uint64_t got = 0;
+  ASSERT_TRUE(sharded->Read(sibling_lpn, &got).ok());
+  EXPECT_EQ(got, 778u);
 }
 
 }  // namespace

@@ -19,7 +19,9 @@ using FuzzParam = std::tuple<std::string, uint64_t>;  // (ftl, seed)
 class MixedFuzzTest : public ::testing::TestWithParam<FuzzParam> {};
 
 TEST_P(MixedFuzzTest, NoOperationSequenceLosesData) {
-  const auto& [name, seed] = GetParam();
+  const auto& [name, base_seed] = GetParam();
+  const uint64_t seed = FuzzSeed(base_seed);
+  GECKO_TRACE_FUZZ_SEED(seed);
   FlashDevice device(FtlTestGeometry());
   auto ftl = MakeFtl(name, &device, 96);
   ShadowHarness shadow(ftl.get(), device.geometry().NumLogicalPages());
@@ -53,7 +55,9 @@ TEST_P(MixedFuzzTest, NoOperationSequenceLosesData) {
 // reads never observe stale or lost data; the conservation check proves
 // the waiting lists leak nothing across crashes.
 TEST_P(MixedFuzzTest, CacheStarvedMissPipelineLosesNoData) {
-  const auto& [name, seed] = GetParam();
+  const auto& [name, base_seed] = GetParam();
+  const uint64_t seed = FuzzSeed(base_seed);
+  GECKO_TRACE_FUZZ_SEED(seed);
   FlashDevice device(FtlTestGeometry());
   auto ftl = MakeFtl(name, &device, 8);
   ShadowHarness shadow(ftl.get(), device.geometry().NumLogicalPages());
@@ -101,6 +105,8 @@ TEST_P(MixedFuzzTest, CacheStarvedMissPipelineLosesNoData) {
 class WatermarkFuzzTest : public ::testing::TestWithParam<uint32_t> {};
 
 TEST_P(WatermarkFuzzTest, FreePoolNeverExhaustsAndThrottlingEngagesFirst) {
+  const uint64_t seed = FuzzSeed(303);
+  GECKO_TRACE_FUZZ_SEED(seed);
   FlashDevice device(FtlTestGeometry(GetParam()));
   auto ftl = MakeFtl("GeckoFTL", &device, 96, [](FtlConfig& c) {
     c.maintenance.hard_watermark = c.gc_free_block_threshold + 3;
@@ -113,8 +119,8 @@ TEST_P(WatermarkFuzzTest, FreePoolNeverExhaustsAndThrottlingEngagesFirst) {
   for (Lpn lpn = 0; lpn < shadow.num_lpns(); ++lpn) shadow.Write(lpn);
   base->block_manager().ResetFreePoolLowWatermark();
 
-  Rng rng(303);
-  ZipfWorkload zipf(shadow.num_lpns(), 0.8, 304);
+  Rng rng(seed);
+  ZipfWorkload zipf(shadow.num_lpns(), 0.8, seed + 1);
   for (int op = 0; op < 8000; ++op) {
     uint32_t dice = static_cast<uint32_t>(rng.Uniform(1000));
     if (dice < 750) {
