@@ -45,6 +45,7 @@ inline void AddFtlCounterRows(TablePrinter* table, const FtlCounters& c) {
       {"checkpoints", c.checkpoints},
       {"gc_collections", c.gc_collections},
       {"gc_migrations", c.gc_migrations},
+      {"gc_demotions", c.gc_demotions},
       {"gc_force_skips", c.gc_force_skips},
       {"uip_detections", c.uip_detections},
       {"cache_hits", c.cache_hits},

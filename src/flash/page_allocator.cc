@@ -15,7 +15,9 @@ PlacedProgram AllocateAndProgram(FlashDevice* device, PageAllocator* allocator,
   uint32_t attempts_left = 2 * device->geometry().pages_per_block + 8;
   PlacedProgram out;
   for (;;) {
-    PhysicalAddress addr = allocator->AllocatePage(type, stream);
+    // The spare's temperature class doubles as the placement hint, so a
+    // re-placed program lands back in its own stream.
+    PhysicalAddress addr = allocator->AllocatePage(type, stream, spare.temp);
     ProgramResult r = device->ProgramPage(addr, spare, payload, purpose);
     if (r.ok) {
       out.addr = addr;

@@ -40,8 +40,16 @@ class PageAllocator {
   /// different channels (stream % num_channels) and proceed in parallel.
   /// kNoStream round-robins across channels; pages with uniform lifetimes
   /// (user data, FIFO logs) use it for maximum striping.
+  ///
+  /// `temp` is the write-temperature class of a user page (ftl/hotness.h):
+  /// temperature-aware allocators keep one set of per-channel active
+  /// blocks per class, so pages with similar expected lifetimes share
+  /// blocks and GC rarely finds live cold data in hot victims. Metadata
+  /// pages and single-stream configurations pass 0, which degenerates to
+  /// the classic one-pool-per-group layout.
   virtual PhysicalAddress AllocatePage(PageType type,
-                                       uint32_t stream = kNoStream) = 0;
+                                       uint32_t stream = kNoStream,
+                                       uint8_t temp = 0) = 0;
 
   /// Marks a previously-written metadata page obsolete. When every page of
   /// a metadata block is obsolete, the implementation may erase the block.

@@ -35,6 +35,13 @@ struct SpareArea {
   bool tombstone = false;
   /// Erase count of the block at last erase, persisted per Appendix D.
   uint16_t erase_count = 0;
+  /// User pages only: write-temperature class of the page at program time
+  /// (0 = hottest; see ftl/hotness.h). Every page of a user block carries
+  /// the block's class, so BID recovery can rebuild the per-class active
+  /// blocks from the first-page spare read it already performs. Always 0
+  /// with one temperature class (the bit-identical legacy mode) and for
+  /// metadata pages.
+  uint8_t temp = 0;
 
   bool IsUser() const { return type == PageType::kUser; }
   bool IsTranslation() const { return type == PageType::kTranslation; }

@@ -15,6 +15,8 @@ BaseFtl::BaseFtl(FlashDevice* device, const FtlConfig& config)
       blocks_(device, !GcPolicyCollectsMetadata(config.gc_policy)),
       translation_(device->geometry(), device, &blocks_),
       cache_(config.cache_capacity),
+      hotness_(config.num_temp_classes == 0 ? 1 : config.num_temp_classes,
+               config.hotness_sketch_bits, config.hotness_decay_period),
       victim_policy_(MakeGcVictimPolicy(config.gc_policy)),
       bvc_(device->geometry().num_blocks, 0),
       scheduler_(this, config),
@@ -22,6 +24,28 @@ BaseFtl::BaseFtl(FlashDevice* device, const FtlConfig& config)
   if (config.wear_leveling) {
     wear_ = std::make_unique<WearLeveler>(device, config.wear_gap_threshold);
   }
+  // Hot/cold stream separation: per-class active blocks and hotness-
+  // weighted cache eviction. With one class (the default) neither call
+  // changes anything — the FTL is bit-identical to the single-stream
+  // layout, which the temperature-class identity tests pin down.
+  if (hotness_.num_classes() > 1) {
+    blocks_.ConfigureTempClasses(hotness_.num_classes());
+    cache_.SetEvictionPolicy([this](Lpn lpn) { return hotness_.Score(lpn); },
+                             config_.hot_eviction_scan_depth);
+  }
+}
+
+uint8_t BaseFtl::ClassifyWrite(Lpn lpn, bool tombstone) {
+  if (hotness_.num_classes() <= 1) return 0;
+  // Record first, then classify: the class reflects the op that is about
+  // to program, so an lpn's second recent update already lands hot, and
+  // trim affinity (double weight) pulls discard-churned pages hotter.
+  if (tombstone) {
+    hotness_.RecordTrim(lpn);
+  } else {
+    hotness_.RecordWrite(lpn);
+  }
+  return hotness_.Classify(lpn);
 }
 
 // ---------------------------------------------------------------------------
@@ -215,6 +239,7 @@ Status BaseFtl::WriteExtent(Lpn lpn, uint64_t payload, bool tombstone,
   spare.type = PageType::kUser;
   spare.key = lpn;
   spare.tombstone = tombstone;
+  spare.temp = ClassifyWrite(lpn, tombstone);
   PhysicalAddress ppa =
       AllocateAndProgram(device_, &blocks_, PageType::kUser, kNoStream, spare,
                          payload, IoPurpose::kUserWrite)
@@ -689,7 +714,7 @@ void BaseFtl::SyncTranslationPage(TPageId tpage) {
 void BaseFtl::OnTranslationPageReplaced(TPageId, PhysicalAddress) {}
 
 void BaseFtl::EvictOne() {
-  Lpn victim = cache_.PeekLru();
+  Lpn victim = cache_.PeekEvictionVictim();
   const MappingEntry* entry = cache_.Peek(victim);
   GECKO_CHECK(entry != nullptr);
   if (entry->dirty) {
@@ -914,6 +939,18 @@ void BaseFtl::StartCollection(BlockId victim) {
 uint32_t BaseFtl::MigrateUserPages(uint32_t max_migrations) {
   const Geometry& g = device_->geometry();
   const BlockId victim = gc_.victim;
+  // Hot/cold separation: a page that survived a whole collection is
+  // colder than its class predicted, so survivors land one temperature
+  // class colder than the victim block (saturating at the coldest). With
+  // one class both temps stay 0 and no demotion is counted.
+  const uint8_t victim_temp = blocks_.BlockTemp(victim);
+  uint8_t survivor_temp = victim_temp;
+  if (hotness_.num_classes() > 1 &&
+      victim_temp + 1u < hotness_.num_classes()) {
+    survivor_temp = victim_temp + 1;
+  } else if (hotness_.num_classes() > 1) {
+    survivor_temp = static_cast<uint8_t>(hotness_.num_classes() - 1);
+  }
   uint32_t migrated = 0;
   while (gc_.next_page < g.pages_per_block && migrated < max_migrations) {
     const uint32_t p = gc_.next_page++;
@@ -1015,12 +1052,14 @@ uint32_t BaseFtl::MigrateUserPages(uint32_t max_migrations) {
     // A live tombstone stays a tombstone (the trimmed lpn must keep
     // reading back NotFound after its marker is migrated).
     new_spare.tombstone = page.spare.tombstone;
+    new_spare.temp = survivor_temp;
     // A program fault mid-migration re-places the copy transparently.
     PhysicalAddress dest =
         AllocateAndProgram(device_, &blocks_, PageType::kUser, kNoStream,
                            new_spare, page.payload, IoPurpose::kGcMigration)
             .addr;
     ++counters_.gc_migrations;
+    if (survivor_temp > victim_temp) ++counters_.gc_demotions;
     UpsertCacheEntry(lpn, dest, /*uip=*/false);
     ++migrated;
   }
@@ -1177,6 +1216,7 @@ std::vector<BlockManager::BidEntry> BaseFtl::BuildBid(
     }
     e.type = r.spare.type;
     e.first_seq = r.spare.seq;
+    e.temp = r.spare.temp;
     e.pages_written = device_->PagesWritten(b);
   }
   return bid;
@@ -1387,6 +1427,7 @@ RecoveryReport BaseFtl::CrashAndRecover() {
   // copies are fenced by the last_recovery_seq_ validation in
   // MigrateUserPages before any later collection could migrate them.
   cache_.Reset();
+  hotness_.Reset();
   translation_.ResetRamState();
   blocks_.ResetRamState();
   std::fill(bvc_.begin(), bvc_.end(), 0u);
@@ -1440,7 +1481,7 @@ uint64_t BaseFtl::RamBytes() const {
   uint64_t bvc_bytes = uint64_t{device_->geometry().num_blocks} * 2;
   uint64_t wear_bytes = wear_ != nullptr ? wear_->RamBytes() : 0;
   return cache_bytes + translation_.GmdRamBytes() + bvc_bytes + wear_bytes +
-         PvmRamBytes();
+         hotness_.RamBytes() + PvmRamBytes();
 }
 
 }  // namespace gecko

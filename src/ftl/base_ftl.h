@@ -26,6 +26,7 @@
 #include "ftl/ftl.h"
 #include "ftl/ftl_config.h"
 #include "ftl/gc_victim_policy.h"
+#include "ftl/hotness.h"
 #include "ftl/maintenance_scheduler.h"
 #include "ftl/mapping_cache.h"
 #include "ftl/translation_table.h"
@@ -107,6 +108,9 @@ class BaseFtl : public Ftl, private MaintenanceHost, private AsyncHost {
 
   /// The active victim-selection policy object.
   const GcVictimPolicy& victim_policy() const { return *victim_policy_; }
+
+  /// The write-temperature estimator (hot/cold stream separation).
+  const HotnessEstimator& hotness() const { return hotness_; }
 
  protected:
   /// The page-validity store, owned by the subclass.
@@ -351,11 +355,18 @@ class BaseFtl : public Ftl, private MaintenanceHost, private AsyncHost {
   /// Synchronizes every dirty entry now (LazyFTL/IB-FTL recovery tail).
   void SyncAllDirty(RecoveryReport* report);
 
+  /// Write-temperature class for a fresh host write/trim of `lpn`
+  /// (records the op in the estimator first). Always 0 with one class.
+  uint8_t ClassifyWrite(Lpn lpn, bool tombstone);
+
   FlashDevice* device_;
   FtlConfig config_;
   BlockManager blocks_;
   TranslationTable translation_;
   MappingCache cache_;
+  /// Update-recency/frequency sketch behind ClassifyWrite (RAM-only;
+  /// reset by a power failure).
+  HotnessEstimator hotness_;
   std::unique_ptr<WearLeveler> wear_;
   std::unique_ptr<GcVictimPolicy> victim_policy_;
   /// Resumable-GC cursor (RAM-only; dies with a crash).

@@ -10,12 +10,32 @@ BlockManager::BlockManager(FlashDevice* device, bool auto_erase_metadata)
       bad_blocks_(device),
       stripe_(device->geometry().num_channels),
       block_type_(device->geometry().num_blocks, PageType::kFree),
+      block_temp_(device->geometry().num_blocks, 0),
       meta_live_(device->geometry().num_blocks, 0),
       free_pool_(stripe_) {
   for (BlockId b = 0; b < device->geometry().num_blocks; ++b) {
     PushFreeBlock(b);  // refuses factory-bad blocks
   }
   for (auto& actives : actives_) actives.assign(stripe_, kNullAddress);
+}
+
+void BlockManager::ConfigureTempClasses(uint32_t num_classes) {
+  GECKO_CHECK_GE(num_classes, 1u);
+  GECKO_CHECK(!IsActiveAnywhere())
+      << "temperature classes must be configured before the first allocation";
+  temp_classes_ = num_classes;
+  actives_[static_cast<int>(PageType::kUser)].assign(
+      uint64_t{temp_classes_} * stripe_, kNullAddress);
+  user_next_slot_.assign(temp_classes_, 0);
+}
+
+bool BlockManager::IsActiveAnywhere() const {
+  for (const auto& actives : actives_) {
+    for (const PhysicalAddress& a : actives) {
+      if (a.IsValid()) return true;
+    }
+  }
+  return false;
 }
 
 std::vector<PhysicalAddress>& BlockManager::ActivesFor(PageType type) {
@@ -32,8 +52,19 @@ void BlockManager::PushFreeBlock(BlockId block) {
   free_pool_.Push(block, device_->ChannelOf(block));
 }
 
-PhysicalAddress BlockManager::AllocatePage(PageType type, uint32_t stream) {
+PhysicalAddress BlockManager::AllocatePage(PageType type, uint32_t stream,
+                                           uint8_t temp) {
   std::vector<PhysicalAddress>& actives = ActivesFor(type);
+  const bool user = type == PageType::kUser;
+  if (!user) temp = 0;  // metadata groups have a single class
+  GECKO_CHECK_LT(temp, user ? temp_classes_ : 1u);
+  // One temperature class owns one contiguous band of `stripe_` slots;
+  // every placement rule below stays inside the class's band, so blocks
+  // never mix classes. With one class the band is the whole group — the
+  // pre-separation layout exactly.
+  const uint32_t base = user ? uint32_t{temp} * stripe_ : 0;
+  uint32_t* cursor =
+      user ? &user_next_slot_[temp] : &next_slot_[static_cast<int>(type)];
   const uint32_t pages = device_->geometry().pages_per_block;
   uint32_t slot;
   if (compact_mode_) {
@@ -41,23 +72,23 @@ PhysicalAddress BlockManager::AllocatePage(PageType type, uint32_t stream) {
     // blocks instead of opening new ones across the stripe. Consecutive
     // allocations keep hitting the same slot until it fills, so streams
     // written during GC stay contiguous.
-    slot = next_slot_[static_cast<int>(type)];
+    slot = base + *cursor;
     uint32_t best_free = pages + 1;
     for (uint32_t s = 0; s < stripe_; ++s) {
-      const PhysicalAddress& a = actives[s];
+      const PhysicalAddress& a = actives[base + s];
       if (!a.IsValid() || a.page >= pages) continue;
       uint32_t free = pages - a.page;
       if (free < best_free) {
         best_free = free;
-        slot = s;
+        slot = base + s;
       }
     }
   } else if (stream != kNoStream) {
     // Stream-affine placement: one stream, one slot (see PageAllocator).
-    slot = stream % stripe_;
+    slot = base + stream % stripe_;
   } else {
-    slot = next_slot_[static_cast<int>(type)];
-    next_slot_[static_cast<int>(type)] = (slot + 1) % stripe_;
+    slot = base + *cursor;
+    *cursor = (*cursor + 1) % stripe_;
   }
   PhysicalAddress* active = &actives[slot];
   const uint32_t pages_per_block = device_->geometry().pages_per_block;
@@ -65,7 +96,7 @@ PhysicalAddress BlockManager::AllocatePage(PageType type, uint32_t stream) {
     BlockId retired = active->IsValid() ? active->block : kInvalidU32;
     GECKO_CHECK_GT(free_pool_.size(), 0u)
         << "device out of free blocks; GC must run before allocation";
-    BlockId block = free_pool_.Take(slot);
+    BlockId block = free_pool_.Take(slot - base);
     if (free_pool_.size() < free_pool_low_) free_pool_low_ = free_pool_.size();
 #ifdef GECKO_DEBUG_GC_GROUND_TRUTH
     GECKO_CHECK(block_type_[block] == PageType::kFree)
@@ -76,6 +107,7 @@ PhysicalAddress BlockManager::AllocatePage(PageType type, uint32_t stream) {
         << "allocating block " << block << " with written pages";
 #endif
     block_type_[block] = type;
+    block_temp_[block] = temp;
     *active = PhysicalAddress{block, 0};
     // A metadata block can become fully invalid while it is still the
     // active append target (stream-affine placement makes this common: a
@@ -153,6 +185,7 @@ bool BlockManager::EraseOrRetire(BlockId block, IoPurpose purpose) {
     device_->RetireBlock(block);
     bad_blocks_.OnBlockRetired(block);
     block_type_[block] = PageType::kFree;
+    block_temp_[block] = 0;
     meta_live_[block] = 0;
     return false;
   }
@@ -160,6 +193,7 @@ bool BlockManager::EraseOrRetire(BlockId block, IoPurpose purpose) {
     // Erase fault: the device retired the block.
     bad_blocks_.OnBlockRetired(block);
     block_type_[block] = PageType::kFree;
+    block_temp_[block] = 0;
     meta_live_[block] = 0;
     return false;
   }
@@ -200,6 +234,7 @@ void BlockManager::UnpinThrough(uint64_t seq) {
 
 void BlockManager::OnBlockErased(BlockId block) {
   block_type_[block] = PageType::kFree;
+  block_temp_[block] = 0;
   meta_live_[block] = 0;
   PushFreeBlock(block);
 }
@@ -214,12 +249,14 @@ std::vector<BlockId> BlockManager::BlocksOfType(PageType type) const {
 
 void BlockManager::ResetRamState() {
   std::fill(block_type_.begin(), block_type_.end(), PageType::kFree);
+  std::fill(block_temp_.begin(), block_temp_.end(), uint8_t{0});
   std::fill(meta_live_.begin(), meta_live_.end(), 0u);
   free_pool_.Clear();
   for (auto& actives : actives_) {
     std::fill(actives.begin(), actives.end(), kNullAddress);
   }
   next_slot_.fill(0);
+  std::fill(user_next_slot_.begin(), user_next_slot_.end(), 0u);
   pinned_.clear();
   // Pending retirement marks are lost with the RAM; blocks already retired
   // persist in the medium and PushFreeBlock keeps refusing them.
@@ -232,11 +269,17 @@ void BlockManager::RecoverFromBid(const std::vector<BidEntry>& bid) {
     BlockId block = kInvalidU32;
     uint64_t first_seq = 0;
   };
-  // One candidate partial block per (group, stripe slot); the slot is the
-  // block's own channel, so a resumed active keeps its IO on the channel
-  // it already lives on.
+  // One candidate partial block per active slot — (group, channel) for
+  // metadata, (temperature class, channel) for the user group; the
+  // channel is the block's own, so a resumed active keeps its IO on the
+  // channel it already lives on.
   std::array<std::vector<Partial>, 4> partial_of;
-  for (auto& v : partial_of) v.assign(stripe_, Partial{});
+  for (size_t g = 0; g < partial_of.size(); ++g) {
+    partial_of[g].assign(g == static_cast<size_t>(PageType::kUser)
+                             ? uint64_t{temp_classes_} * stripe_
+                             : stripe_,
+                         Partial{});
+  }
   for (BlockId b = 0; b < bid.size(); ++b) {
     const BidEntry& e = bid[b];
     block_type_[b] = e.type;
@@ -244,12 +287,23 @@ void BlockManager::RecoverFromBid(const std::vector<BidEntry>& bid) {
       PushFreeBlock(b);
       continue;
     }
+    uint8_t temp = 0;
+    if (e.type == PageType::kUser) {
+      // Clamp defensively: a BID written under a larger class count must
+      // still land inside the configured slot range.
+      temp = e.temp < temp_classes_
+                 ? e.temp
+                 : static_cast<uint8_t>(temp_classes_ - 1);
+      block_temp_[b] = temp;
+    }
     if (e.pages_written < device_->geometry().pages_per_block) {
       // Normal operation leaves at most one partial block per slot (the
       // crash-time active); keep the newest in case an abandoned partial
       // lingers from a previous crash or a cross-channel steal.
-      Partial& p = partial_of[static_cast<int>(e.type)]
-                             [device_->ChannelOf(b)];
+      uint32_t slot = (e.type == PageType::kUser ? uint32_t{temp} * stripe_
+                                                 : 0) +
+                      device_->ChannelOf(b);
+      Partial& p = partial_of[static_cast<int>(e.type)][slot];
       if (p.block == kInvalidU32 || e.first_seq > p.first_seq) {
         p = Partial{b, e.first_seq};
       }
@@ -258,8 +312,9 @@ void BlockManager::RecoverFromBid(const std::vector<BidEntry>& bid) {
   for (PageType type :
        {PageType::kUser, PageType::kTranslation, PageType::kPvm}) {
     std::vector<PhysicalAddress>& actives = ActivesFor(type);
-    for (uint32_t slot = 0; slot < stripe_; ++slot) {
-      const Partial& p = partial_of[static_cast<int>(type)][slot];
+    const std::vector<Partial>& partials = partial_of[static_cast<int>(type)];
+    for (uint32_t slot = 0; slot < partials.size(); ++slot) {
+      const Partial& p = partials[slot];
       if (p.block != kInvalidU32) {
         actives[slot] =
             PhysicalAddress{p.block, device_->PagesWritten(p.block)};

@@ -41,9 +41,21 @@ class BlockManager : public PageAllocator {
   /// baselines leave them to the regular GC victim selection.
   BlockManager(FlashDevice* device, bool auto_erase_metadata);
 
+  /// Grows the user group to `num_classes` sets of per-channel active
+  /// blocks (hot/cold stream separation; ftl/hotness.h). Must be called
+  /// before the first allocation. 1 — the construction default — keeps
+  /// the classic single-pool layout bit-identically.
+  void ConfigureTempClasses(uint32_t num_classes);
+  uint32_t num_temp_classes() const { return temp_classes_; }
+
+  /// Temperature class the user block was opened under (0 for metadata
+  /// and free blocks). GC demotes a victim's survivors to one class
+  /// colder than this.
+  uint8_t BlockTemp(BlockId block) const { return block_temp_[block]; }
+
   // --- PageAllocator ----------------------------------------------------
-  PhysicalAddress AllocatePage(PageType type,
-                               uint32_t stream = kNoStream) override;
+  PhysicalAddress AllocatePage(PageType type, uint32_t stream = kNoStream,
+                               uint8_t temp = 0) override;
   void OnMetadataPageInvalidated(PhysicalAddress addr) override;
   /// Feeds grown-bad bookkeeping; a block that crosses its fail budget is
   /// closed to further allocation (its active slot, if any, is vacated)
@@ -126,6 +138,10 @@ class BlockManager : public PageAllocator {
     PageType type = PageType::kFree;
     uint64_t first_seq = 0;
     uint32_t pages_written = 0;
+    /// User blocks: temperature class from the first page's spare (every
+    /// page of a user block shares its class). Restores block_temp_ and
+    /// keys partial user blocks to their (class, channel) active slot.
+    uint8_t temp = 0;
   };
   void RecoverFromBid(const std::vector<BidEntry>& bid);
 
@@ -135,6 +151,7 @@ class BlockManager : public PageAllocator {
 
  private:
   std::vector<PhysicalAddress>& ActivesFor(PageType type);
+  bool IsActiveAnywhere() const;
   void PushFreeBlock(BlockId block);
   void MaybeEraseMetadataBlock(BlockId block);
   IoPurpose ErasePurposeFor(PageType type) const;
@@ -143,13 +160,23 @@ class BlockManager : public PageAllocator {
   bool auto_erase_metadata_;
   BadBlockManager bad_blocks_;
   uint32_t stripe_;  // slots per group = geometry.num_channels
+  /// Temperature classes of the user group (metadata groups always have
+  /// one). The user actives vector holds temp_classes_ * stripe_ slots,
+  /// laid out class-major: slot = temp * stripe_ + channel.
+  uint32_t temp_classes_ = 1;
   std::vector<PageType> block_type_;
+  /// Per-block temperature class (user blocks; 0 otherwise).
+  std::vector<uint8_t> block_temp_;
   std::vector<uint32_t> meta_live_;
   StripedFreePool free_pool_;
-  /// Active append blocks, one vector of `stripe_` slots per group.
+  /// Active append blocks, one vector of `stripe_` slots per group
+  /// (temp_classes_ * stripe_ for the user group).
   std::array<std::vector<PhysicalAddress>, 4> actives_;
-  /// Round-robin cursor per group.
+  /// Round-robin cursor per metadata group (the user group keeps one
+  /// cursor per temperature class below).
   std::array<uint32_t, 4> next_slot_{};
+  /// Round-robin cursor per user temperature class.
+  std::vector<uint32_t> user_next_slot_ = std::vector<uint32_t>(1, 0);
   bool compact_mode_ = false;
   std::map<BlockId, uint64_t> pinned_;  // block -> pin sequence
   uint64_t metadata_blocks_erased_ = 0;

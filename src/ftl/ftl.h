@@ -38,6 +38,9 @@ struct FtlCounters {
   uint64_t checkpoints = 0;       // runtime checkpoints taken (Section 4.3)
   uint64_t gc_collections = 0;    // blocks collected by GC
   uint64_t gc_migrations = 0;     // live pages moved by GC
+  /// GC migrations whose survivor landed one temperature class colder
+  /// than its victim (hot/cold stream separation; 0 with one class).
+  uint64_t gc_demotions = 0;
   uint64_t gc_force_skips = 0;    // ForceGc calls refused (GC re-entrancy)
   uint64_t uip_detections = 0;    // invalid pages caught by the GC UIP check
   uint64_t cache_hits = 0;        // mapping-cache hits

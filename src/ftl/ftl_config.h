@@ -150,6 +150,27 @@ struct FtlConfig {
   /// write) to advance the durable horizon and release the pins.
   uint32_t max_pinned_metadata_blocks = 4;
 
+  /// T: number of write-temperature classes for hot/cold stream
+  /// separation (ftl/hotness.h). 1 — the default — is the single-stream
+  /// legacy write path, bit-identical to a build without the feature.
+  /// With T > 1, every user write is classified by recent update
+  /// frequency, each class appends to its own per-channel active blocks,
+  /// GC demotes migration survivors one class colder, and mapping-cache
+  /// eviction prefers cold entries over hot ones.
+  uint32_t num_temp_classes = 1;
+
+  /// log2 of the hotness sketch's counter count (2^bits bytes of RAM).
+  uint32_t hotness_sketch_bits = 12;
+
+  /// Writes+trims between halvings of the hotness counters (the recency
+  /// window of the estimator).
+  uint32_t hotness_decay_period = 4096;
+
+  /// Hotness-weighted eviction: how many entries from the LRU end are
+  /// scanned for the coldest candidate. <= 1 keeps pure LRU eviction.
+  /// Only active when num_temp_classes > 1.
+  uint32_t hot_eviction_scan_depth = 8;
+
   /// Logarithmic Gecko tuning (GeckoFTL only).
   LogGeckoConfig gecko;
 

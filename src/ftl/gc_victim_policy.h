@@ -66,6 +66,18 @@ class GreedyVictimPolicy : public GcVictimPolicy {
 /// Cost-benefit (Rosenblum & Ousterhout's cleaning heuristic): maximize
 /// benefit/cost = (1 - u) / (1 + u) * age, with u the utilization
 /// valid/pages_per_block. Returned negated so lower stays better.
+///
+/// Age fairness across channels: callers derive `age` from
+/// FlashDevice::LastProgramSeq against CurrentSeq. The device sequence is
+/// GLOBAL and monotone — one counter across all channels, bumped per
+/// program wherever it lands — not a per-channel clock, so ages of blocks
+/// on different channels are directly comparable. Channel striping only
+/// skews the ages of *concurrently filling* active blocks, which differ by
+/// at most ~stripe-width programs (they interleave round-robin); that
+/// spread is orders of magnitude below the inter-block age differences the
+/// age term exists to discriminate, so no per-channel normalization is
+/// needed. Pinned by CostBenefitAgeComparableAcrossChannels in
+/// tests/ftl/policy_behavior_test.cc.
 class CostBenefitVictimPolicy : public GcVictimPolicy {
  public:
   const char* Name() const override { return "cost-benefit"; }

@@ -1,0 +1,115 @@
+// Write-temperature estimation for hot/cold stream separation.
+//
+// A compact update-frequency sketch over logical page numbers: 2^k 8-bit
+// saturating counters, indexed by a splitmix64 hash of the lpn. Every
+// write (and trim — trim affinity counts as hot, since a page the host
+// discards soon after writing invalidates itself quickly) bumps the lpn's
+// counter; a periodic halving decay ages out past behaviour so the sketch
+// tracks *recent* update frequency rather than lifetime counts.
+//
+// Classify() folds the counter into one of T temperature classes:
+// class 0 is the hottest, class T-1 the coldest, and each doubling of the
+// recent update count moves an lpn one class hotter. The write path tags
+// every user page with its class so the block manager can segregate
+// streams into per-class active blocks, and GC demotes migration
+// survivors one class colder (a page that survived a collection is, by
+// that very fact, colder than its class predicted).
+//
+// RAM cost: 2^k bytes (4 KB at the default k=12) — far below the mapping
+// cache, and of the same order as the BVC. Collisions alias two lpns onto
+// one counter; the consequence is only a misplaced page (it lands in a
+// neighbouring temperature stream), never a correctness issue.
+
+#ifndef GECKOFTL_FTL_HOTNESS_H_
+#define GECKOFTL_FTL_HOTNESS_H_
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "flash/types.h"
+#include "util/check.h"
+
+namespace gecko {
+
+class HotnessEstimator {
+ public:
+  HotnessEstimator(uint32_t num_classes, uint32_t sketch_bits,
+                   uint32_t decay_period)
+      : num_classes_(num_classes),
+        mask_((uint64_t{1} << sketch_bits) - 1),
+        decay_period_(decay_period),
+        // With one class the estimator is inert (every lpn is class 0),
+        // so it allocates nothing: single-stream FTLs pay zero RAM.
+        counters_(num_classes > 1 ? uint64_t{1} << sketch_bits : 0, 0) {
+    GECKO_CHECK_GE(num_classes, 1u);
+    GECKO_CHECK_GE(sketch_bits, 4u);
+    GECKO_CHECK_LE(sketch_bits, 24u);
+    GECKO_CHECK_GT(decay_period, 0u);
+  }
+
+  /// Counts one host write of `lpn`.
+  void RecordWrite(Lpn lpn) { Bump(lpn, 1); }
+
+  /// Counts one host trim of `lpn`. Weighted double: a trimmed page's
+  /// tombstone is expected to die fast (re-write or re-trim), so trim
+  /// affinity pulls the lpn toward the hot streams.
+  void RecordTrim(Lpn lpn) { Bump(lpn, 2); }
+
+  /// Temperature class of `lpn`: 0 = hottest, num_classes-1 = coldest.
+  /// An lpn updated at most once in the recent window is coldest; each
+  /// doubling of its recent update count moves it one class hotter.
+  uint8_t Classify(Lpn lpn) const {
+    if (num_classes_ == 1) return 0;
+    uint32_t c = counters_[Index(lpn)];
+    uint32_t heat = c < 2 ? 0 : std::bit_width(c) - 1;  // log2, floored
+    if (heat > num_classes_ - 1) heat = num_classes_ - 1;
+    return static_cast<uint8_t>(num_classes_ - 1 - heat);
+  }
+
+  /// Raw recent-update count (eviction weighting: higher = hotter).
+  uint32_t Score(Lpn lpn) const {
+    return counters_.empty() ? 0 : counters_[Index(lpn)];
+  }
+
+  /// Power failure: the sketch is RAM state and dies with it. Recovered
+  /// workload behaviour re-warms it within one decay period.
+  void Reset() {
+    std::fill(counters_.begin(), counters_.end(), uint8_t{0});
+    ops_since_decay_ = 0;
+  }
+
+  uint32_t num_classes() const { return num_classes_; }
+  uint64_t RamBytes() const { return counters_.size(); }
+
+ private:
+  uint64_t Index(Lpn lpn) const {
+    uint64_t x = uint64_t{lpn} + 0x9E3779B97F4A7C15ull;
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return x & mask_;
+  }
+
+  void Bump(Lpn lpn, uint32_t weight) {
+    if (counters_.empty()) return;  // single class: nothing to learn
+    uint8_t& c = counters_[Index(lpn)];
+    c = c > 255 - weight ? 255 : static_cast<uint8_t>(c + weight);
+    if (++ops_since_decay_ >= decay_period_) {
+      for (uint8_t& v : counters_) v >>= 1;
+      ops_since_decay_ = 0;
+    }
+  }
+
+  uint32_t num_classes_;
+  uint64_t mask_;
+  uint32_t decay_period_;
+  uint64_t ops_since_decay_ = 0;
+  std::vector<uint8_t> counters_;
+};
+
+}  // namespace gecko
+
+#endif  // GECKOFTL_FTL_HOTNESS_H_

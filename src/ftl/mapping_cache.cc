@@ -47,6 +47,29 @@ Lpn MappingCache::PeekLru() const {
   return lru_.front();
 }
 
+Lpn MappingCache::PeekEvictionVictim() const {
+  GECKO_CHECK(!lru_.empty()) << "PeekEvictionVictim on empty cache";
+  if (!scorer_ || scan_depth_ <= 1 || lru_.size() < 2) return lru_.front();
+  // Scan up to scan_depth_ entries from the LRU end — but never the MRU
+  // entry (see the header: a just-inserted miss fill must survive its
+  // first use). Ties keep the least-recently-used candidate, so a
+  // uniformly-cold window degenerates to pure LRU.
+  uint64_t limit = lru_.size() - 1;
+  if (scan_depth_ < limit) limit = scan_depth_;
+  Lpn victim = lru_.front();
+  uint64_t best = scorer_(victim);
+  auto it = lru_.begin();
+  for (uint64_t i = 1; i < limit; ++i) {
+    ++it;
+    uint64_t score = scorer_(*it);
+    if (score < best) {
+      best = score;
+      victim = *it;
+    }
+  }
+  return victim;
+}
+
 void MappingCache::Erase(Lpn lpn) {
   auto it = entries_.find(lpn);
   GECKO_CHECK(it != entries_.end());

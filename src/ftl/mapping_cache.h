@@ -19,8 +19,10 @@
 #define GECKOFTL_FTL_MAPPING_CACHE_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "flash/types.h"
@@ -72,6 +74,25 @@ class MappingCache {
 
   /// Returns the least-recently-used lpn without removing it.
   Lpn PeekLru() const;
+
+  /// Hotness-weighted eviction (hot/cold stream separation): installs a
+  /// scorer (higher = hotter) and the number of LRU-end entries
+  /// PeekEvictionVictim scans for the coldest candidate. Unset scorer or
+  /// depth <= 1 keeps pure LRU. Orthogonal to the checkpoint-epoch aging
+  /// of TakeCheckpoint, which keys off dirtying epochs, not LRU position.
+  using EvictionScorer = std::function<uint64_t(Lpn)>;
+  void SetEvictionPolicy(EvictionScorer scorer, uint32_t scan_depth) {
+    scorer_ = std::move(scorer);
+    scan_depth_ = scan_depth;
+  }
+
+  /// The eviction candidate: the LRU entry under pure LRU; with a scorer,
+  /// the coldest of the `scan_depth` least-recently-used entries (ties
+  /// break toward LRU). The MRU entry is never a candidate: a just-
+  /// inserted entry (e.g. a coalesced miss fill about to be read through)
+  /// must survive at least until the next cache operation, whatever its
+  /// hotness.
+  Lpn PeekEvictionVictim() const;
 
   /// Removes `lpn` from the cache.
   void Erase(Lpn lpn);
@@ -152,6 +173,8 @@ class MappingCache {
   LruList lru_;  // front = LRU, back = MRU
   uint32_t dirty_count_ = 0;
   uint64_t epoch_ = 1;
+  EvictionScorer scorer_;    // unset = pure LRU eviction
+  uint32_t scan_depth_ = 1;  // LRU-end entries scanned per eviction
 };
 
 }  // namespace gecko

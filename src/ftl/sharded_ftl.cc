@@ -388,6 +388,7 @@ const FtlCounters& ShardedFtl::counters() const {
     merged_counters_.checkpoints += c.checkpoints;
     merged_counters_.gc_collections += c.gc_collections;
     merged_counters_.gc_migrations += c.gc_migrations;
+    merged_counters_.gc_demotions += c.gc_demotions;
     merged_counters_.gc_force_skips += c.gc_force_skips;
     merged_counters_.uip_detections += c.uip_detections;
     merged_counters_.cache_hits += c.cache_hits;

@@ -14,6 +14,8 @@
 #define GECKOFTL_WORKLOAD_REQUEST_STREAM_H_
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "ftl/io_request.h"
@@ -44,6 +46,13 @@ class RequestStream {
     /// child a disjoint version range so tokens from different submitter
     /// threads can never collide, even on the same lpn.
     uint64_t version_base = 0;
+    /// When `workload.num_lpns > 0` the stream builds and OWNS its own
+    /// generator from this spec (seeded deterministically from `seed`,
+    /// through a separate derivation so address draws and shape decisions
+    /// never share an RNG stream), and Fork(child) needs no caller-wired
+    /// Workload* — each child constructs its own private generator.
+    /// Default (num_lpns == 0): the external-Workload* constructor.
+    WorkloadSpec workload;
   };
 
   /// Derives child `i`'s seed from a parent seed (splitmix64 finalizer —
@@ -63,11 +72,25 @@ class RequestStream {
         options_(options),
         rng_(options.seed),
         version_(options.version_base) {
-    GECKO_CHECK_GT(options.batch_size, 0u);
-    GECKO_CHECK_GE(options.trim_fraction, 0.0);
-    GECKO_CHECK_LE(options.trim_fraction, 1.0);
-    GECKO_CHECK_GE(options.read_fraction, 0.0);
-    GECKO_CHECK_LE(options.read_fraction, 1.0);
+    CheckOptions(options);
+  }
+
+  /// Owned-workload mode: the stream builds its own generator from
+  /// `options.workload` (which must have num_lpns > 0). The generator's
+  /// seed comes from a separate splitmix64 derivation of `options.seed`,
+  /// so address draws and the stream's shape decisions (trim/read coin
+  /// flips) never consume from the same RNG sequence — changing
+  /// trim_fraction does not perturb which lpns are drawn.
+  explicit RequestStream(const Options& options)
+      : owned_(MakeWorkload(options.workload,
+                            ForkSeed(options.seed, kWorkloadSeedChild))),
+        workload_(owned_.get()),
+        options_(options),
+        rng_(options.seed),
+        version_(options.version_base) {
+    GECKO_CHECK_GT(options.workload.num_lpns, 0u)
+        << "owned-workload mode needs a WorkloadSpec";
+    CheckOptions(options);
   }
 
   /// Builds submitter thread `child`'s independent deterministic stream:
@@ -75,11 +98,18 @@ class RequestStream {
   /// version range. `workload` must be the child thread's own instance
   /// (Rng is not thread-safe; nothing may be shared across threads).
   RequestStream Fork(uint32_t child, Workload* workload) const {
-    Options options = options_;
-    options.seed = ForkSeed(options_.seed, child);
-    options.version_base =
-        options_.version_base + (uint64_t{child} + 1) * (uint64_t{1} << 40);
-    return RequestStream(workload, options);
+    return RequestStream(workload, ChildOptions(child));
+  }
+
+  /// Owned-workload fork: child `i` gets its own generator built from the
+  /// same spec with a seed derived from the child's (already forked)
+  /// stream seed — children draw from uncorrelated address sequences and
+  /// disjoint payload version ranges, with nothing shared across threads.
+  /// Only valid on a stream constructed in owned-workload mode.
+  RequestStream Fork(uint32_t child) const {
+    GECKO_CHECK(owned_ != nullptr)
+        << "Fork(child) without a WorkloadSpec; use Fork(child, workload)";
+    return RequestStream(ChildOptions(child));
   }
 
   /// Deterministic payload for the i-th write the stream ever emits.
@@ -129,7 +159,32 @@ class RequestStream {
   uint64_t ops_emitted() const { return ops_emitted_; }
   const Options& options() const { return options_; }
 
+  /// The generator this stream draws from (owned or external).
+  Workload* workload() const { return workload_; }
+
  private:
+  /// Child index reserved for deriving an owned workload's seed from the
+  /// stream seed. Far above any realistic submitter-thread count, so a
+  /// workload seed can never collide with a forked child's stream seed.
+  static constexpr uint32_t kWorkloadSeedChild = 0x40000000u;
+
+  static void CheckOptions(const Options& options) {
+    GECKO_CHECK_GT(options.batch_size, 0u);
+    GECKO_CHECK_GE(options.trim_fraction, 0.0);
+    GECKO_CHECK_LE(options.trim_fraction, 1.0);
+    GECKO_CHECK_GE(options.read_fraction, 0.0);
+    GECKO_CHECK_LE(options.read_fraction, 1.0);
+  }
+
+  Options ChildOptions(uint32_t child) const {
+    Options options = options_;
+    options.seed = ForkSeed(options_.seed, child);
+    options.version_base =
+        options_.version_base + (uint64_t{child} + 1) * (uint64_t{1} << 40);
+    return options;
+  }
+
+  std::unique_ptr<Workload> owned_;  // null in external-Workload* mode
   Workload* workload_;
   Options options_;
   Rng rng_;

@@ -94,6 +94,57 @@ class HotColdWorkload : public Workload {
   Rng rng_;
 };
 
+/// Value-type description of a workload, so request streams (and their
+/// forks) can build their own private generator instances instead of
+/// sharing one Workload* across threads. `num_lpns == 0` means "no spec":
+/// the stream falls back to an externally supplied Workload*.
+struct WorkloadSpec {
+  enum class Kind { kUniform, kSequential, kZipf, kHotCold };
+  Kind kind = Kind::kUniform;
+  uint64_t num_lpns = 0;
+  /// Zipf skew parameter (kZipf only). ~0.99 matches the classic YCSB
+  /// default; >= 1.2 is heavily skewed.
+  double zipf_theta = 0.99;
+  /// Hot-set knobs (kHotCold only): `hot_fraction` of the address space
+  /// receives `hot_access_fraction` of the updates.
+  double hot_fraction = 0.1;
+  double hot_access_fraction = 0.9;
+
+  static WorkloadSpec Uniform(uint64_t num_lpns) {
+    return {Kind::kUniform, num_lpns, 0.99, 0.1, 0.9};
+  }
+  static WorkloadSpec Sequential(uint64_t num_lpns) {
+    return {Kind::kSequential, num_lpns, 0.99, 0.1, 0.9};
+  }
+  static WorkloadSpec Zipf(uint64_t num_lpns, double theta) {
+    return {Kind::kZipf, num_lpns, theta, 0.1, 0.9};
+  }
+  static WorkloadSpec HotCold(uint64_t num_lpns, double hot_fraction,
+                              double hot_access_fraction) {
+    return {Kind::kHotCold, num_lpns, 0.99, hot_fraction,
+            hot_access_fraction};
+  }
+};
+
+/// Instantiates the generator a spec describes. `seed` is ignored by
+/// kSequential (it is deterministic by construction).
+inline std::unique_ptr<Workload> MakeWorkload(const WorkloadSpec& spec,
+                                              uint64_t seed) {
+  switch (spec.kind) {
+    case WorkloadSpec::Kind::kSequential:
+      return std::make_unique<SequentialWorkload>(spec.num_lpns);
+    case WorkloadSpec::Kind::kZipf:
+      return std::make_unique<ZipfWorkload>(spec.num_lpns, spec.zipf_theta,
+                                            seed);
+    case WorkloadSpec::Kind::kHotCold:
+      return std::make_unique<HotColdWorkload>(
+          spec.num_lpns, spec.hot_fraction, spec.hot_access_fraction, seed);
+    case WorkloadSpec::Kind::kUniform:
+      break;
+  }
+  return std::make_unique<UniformWorkload>(spec.num_lpns, seed);
+}
+
 }  // namespace gecko
 
 #endif  // GECKOFTL_WORKLOAD_WORKLOAD_H_

@@ -220,6 +220,91 @@ TEST(MappingCacheMissSplitTest, BatchedReadSplitsFetchesFromJoins) {
                 (after.miss_joins - before.miss_joins));
 }
 
+TEST(MappingCacheEvictionPolicyTest, DefaultsToPureLru) {
+  MappingCache cache(4);
+  cache.Insert(1, E(1));
+  cache.Insert(2, E(2));
+  cache.Insert(3, E(3));
+  // No scorer installed: the victim IS the LRU entry.
+  EXPECT_EQ(cache.PeekEvictionVictim(), cache.PeekLru());
+  cache.Find(1);
+  EXPECT_EQ(cache.PeekEvictionVictim(), 2u);
+}
+
+TEST(MappingCacheEvictionPolicyTest, ScorerPicksColdestWithinScanDepth) {
+  MappingCache cache(8);
+  // Hotness oracle: lpn 2 is scorching, everything else cold.
+  cache.SetEvictionPolicy([](Lpn lpn) { return lpn == 2 ? 100u : lpn; },
+                          /*scan_depth=*/4);
+  for (Lpn lpn = 1; lpn <= 6; ++lpn) cache.Insert(lpn, E(lpn));
+  // LRU->MRU is 1..6; the scan window is {1,2,3,4}; coldest is 1.
+  EXPECT_EQ(cache.PeekEvictionVictim(), 1u);
+  cache.Find(1);  // 1 leaves the window; now {2,3,4,5} -> 3 (2 is hot)
+  EXPECT_EQ(cache.PeekEvictionVictim(), 3u);
+}
+
+TEST(MappingCacheEvictionPolicyTest, TiesBreakTowardLru) {
+  MappingCache cache(8);
+  cache.SetEvictionPolicy([](Lpn) { return 7u; }, /*scan_depth=*/4);
+  for (Lpn lpn = 1; lpn <= 5; ++lpn) cache.Insert(lpn, E(lpn));
+  // Uniform scores degenerate to pure LRU.
+  EXPECT_EQ(cache.PeekEvictionVictim(), 1u);
+}
+
+TEST(MappingCacheEvictionPolicyTest, DepthOneKeepsPureLruEvenWithScorer) {
+  MappingCache cache(4);
+  cache.SetEvictionPolicy([](Lpn lpn) { return 100 - lpn; },
+                          /*scan_depth=*/1);
+  cache.Insert(1, E(1));
+  cache.Insert(2, E(2));
+  EXPECT_EQ(cache.PeekEvictionVictim(), 1u);
+}
+
+TEST(MappingCacheEvictionPolicyTest, MruEntryIsNeverTheVictim) {
+  // The satellite regression: a coalesced miss-join fetches a mapping,
+  // inserts it at MRU, and the very next cache operation (the hit that
+  // reads through it) may first need an eviction. The just-fetched entry
+  // must not be the victim, even when the scorer says it is by far the
+  // coldest entry in the cache.
+  MappingCache cache(3);
+  cache.SetEvictionPolicy([](Lpn lpn) { return lpn == 30 ? 0u : 50u; },
+                          /*scan_depth=*/8);  // depth > size: whole window
+  cache.Insert(10, E(1));
+  cache.Insert(20, E(2));
+  cache.Insert(30, E(3));  // the miss fill, at MRU, score 0 (ice cold)
+  ASSERT_TRUE(cache.NeedsEviction());
+  Lpn victim = cache.PeekEvictionVictim();
+  EXPECT_NE(victim, 30u);
+  EXPECT_EQ(victim, 10u);  // older entries tie at 50: LRU-most wins
+  cache.Erase(victim);
+  // The fetched mapping survives to serve its hit.
+  EXPECT_NE(cache.Find(30), nullptr);
+}
+
+TEST(MappingCacheEvictionPolicyTest, MissJoinThenHitSurvivesFullCache) {
+  // End-to-end shape of the InsertIfAbsent miss path under a full cache,
+  // in both eviction modes: fill the cache, make room, insert the fetched
+  // entry (InsertIfAbsent like the replayed miss fill), then verify a
+  // subsequent eviction round never takes the fetched entry out from
+  // under the hit that is about to consume it.
+  for (bool hotness_mode : {false, true}) {
+    MappingCache cache(4);
+    if (hotness_mode) {
+      // Adversarial scorer: the fetched lpn (99) is the coldest possible.
+      cache.SetEvictionPolicy([](Lpn lpn) { return lpn == 99 ? 0u : 10u; },
+                              /*scan_depth=*/4);
+    }
+    for (Lpn lpn = 1; lpn <= 4; ++lpn) cache.Insert(lpn, E(lpn));
+    while (cache.NeedsEviction()) cache.Erase(cache.PeekEvictionVictim());
+    MappingEntry* fetched = cache.InsertIfAbsent(99, E(9));
+    ASSERT_NE(fetched, nullptr);
+    ASSERT_TRUE(cache.NeedsEviction());
+    EXPECT_NE(cache.PeekEvictionVictim(), 99u) << "hotness=" << hotness_mode;
+    cache.Erase(cache.PeekEvictionVictim());
+    EXPECT_NE(cache.Find(99), nullptr) << "hotness=" << hotness_mode;
+  }
+}
+
 TEST(MappingCacheDeathTest, DoubleInsertAborts) {
   MappingCache cache(4);
   cache.Insert(1, E(1));

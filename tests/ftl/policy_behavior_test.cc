@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "ftl/gc_victim_policy.h"
 #include "tests/ftl/ftl_test_util.h"
 #include "workload/workload.h"
 
@@ -86,6 +89,59 @@ TEST(PolicyTest, PinnedBlocksStayBounded) {
               config.max_pinned_metadata_blocks + 1)
         << "at op " << i;
   }
+}
+
+TEST(PolicyTest, CostBenefitAgeComparableAcrossChannels) {
+  // Satellite audit of the cost-benefit age term (gc_victim_policy.h):
+  // the device sequence feeding LastProgramSeq is one GLOBAL monotone
+  // counter, not a per-channel clock, so block ages compare directly
+  // across channels and need no normalization.
+  FlashDevice device(FtlTestGeometry(/*channels=*/4));
+  const Geometry& g = device.geometry();
+
+  // Fill one block per channel, interleaved round-robin the way striped
+  // actives fill. Blocks 0..3 land on channels 0..3.
+  for (uint32_t p = 0; p < g.pages_per_block; ++p) {
+    for (BlockId b = 0; b < 4; ++b) {
+      SpareArea spare;
+      spare.type = PageType::kUser;
+      spare.key = b * g.pages_per_block + p;
+      device.ProgramPage(PhysicalAddress{b, p}, spare, 1, IoPurpose::kOther);
+    }
+  }
+  // Concurrently-filling striped blocks: their last-program seqs differ
+  // by at most the stripe width (they interleave one program apart).
+  uint64_t lo = device.LastProgramSeq(0), hi = lo;
+  for (BlockId b = 1; b < 4; ++b) {
+    lo = std::min(lo, device.LastProgramSeq(b));
+    hi = std::max(hi, device.LastProgramSeq(b));
+  }
+  EXPECT_LE(hi - lo, 4u);
+
+  // A block written a full generation later — on a DIFFERENT channel than
+  // block 0 — has a strictly larger seq: global order holds across
+  // channels.
+  BlockId late = 5;  // channel 1
+  ASSERT_NE(device.ChannelOf(late), device.ChannelOf(0));
+  for (uint32_t p = 0; p < g.pages_per_block; ++p) {
+    SpareArea spare;
+    spare.type = PageType::kUser;
+    spare.key = late * g.pages_per_block + p;
+    device.ProgramPage(PhysicalAddress{late, p}, spare, 1, IoPurpose::kOther);
+  }
+  EXPECT_GT(device.LastProgramSeq(late), device.LastProgramSeq(0));
+
+  // And cost-benefit prefers the globally older block at equal
+  // utilization, whatever channel each lives on.
+  CostBenefitVictimPolicy policy;
+  const uint64_t now = device.CurrentSeq();
+  GcVictimCandidate old_block, young_block;
+  old_block.valid = young_block.valid = g.pages_per_block / 2;
+  old_block.pages_per_block = young_block.pages_per_block =
+      g.pages_per_block;
+  old_block.age = now - device.LastProgramSeq(0);
+  young_block.age = now - device.LastProgramSeq(late);
+  EXPECT_LT(policy.Score(old_block), policy.Score(young_block));
 }
 
 TEST(PolicyTest, WearLevelingOffByDefaultCostsNothing) {

@@ -106,6 +106,7 @@ void ExpectSameCounters(const FtlCounters& got, const FtlCounters& want) {
   EXPECT_EQ(got.checkpoints, want.checkpoints);
   EXPECT_EQ(got.gc_collections, want.gc_collections);
   EXPECT_EQ(got.gc_migrations, want.gc_migrations);
+  EXPECT_EQ(got.gc_demotions, want.gc_demotions);
   EXPECT_EQ(got.gc_force_skips, want.gc_force_skips);
   EXPECT_EQ(got.uip_detections, want.uip_detections);
   EXPECT_EQ(got.cache_hits, want.cache_hits);
